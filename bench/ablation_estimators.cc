@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Ablation: the per-thread estimator ladder inside DEP.
+ *
+ * Section II-A of the paper reviews the three sequential DVFS
+ * estimators (Stall Time < Leading Loads < CRIT in accuracy) and the
+ * paper builds DEP on CRIT. This harness quantifies that choice in our
+ * reproduction by running the full DEP pipeline with each base
+ * estimator, with and without BURST, plus the simulator's oracle
+ * non-scaling counter as the ceiling.
+ *
+ * Usage: ablation_estimators [--dir=up|down|both] [--only=<name>]
+ */
+
+#include <iostream>
+#include <map>
+#include <vector>
+
+#include "bench_util.hh"
+#include "exp/experiment.hh"
+#include "exp/table.hh"
+#include "pred/predictors.hh"
+
+using namespace dvfs;
+using namespace dvfs::pred;
+
+namespace {
+
+void
+runDirection(const char *label, Frequency base, Frequency target,
+             const std::string &only)
+{
+    const std::vector<ModelSpec> specs = {
+        {BaseEstimator::StallTime, false},
+        {BaseEstimator::StallTime, true},
+        {BaseEstimator::LeadingLoads, false},
+        {BaseEstimator::LeadingLoads, true},
+        {BaseEstimator::Crit, false},
+        {BaseEstimator::Crit, true},
+        {BaseEstimator::Oracle, false},
+        {BaseEstimator::Oracle, true},
+    };
+
+    std::vector<std::string> headers = {"benchmark"};
+    for (const auto &s : specs)
+        headers.push_back(s.name());
+    exp::Table table(headers);
+
+    std::map<std::string, std::vector<double>> errs;
+    for (const auto &params : wl::dacapoSuite()) {
+        if (!only.empty() && params.name != only)
+            continue;
+        auto base_run = exp::runFixed(params, base);
+        Tick actual = exp::runFixed(params, target).totalTime;
+
+        std::vector<std::string> row = {params.name};
+        for (const auto &s : specs) {
+            DepPredictor p(s, true);
+            double e = Predictor::relativeError(
+                p.predict(base_run.record, target), actual);
+            errs[s.name()].push_back(e);
+            row.push_back(exp::Table::pct(e));
+        }
+        table.addRow(std::move(row));
+    }
+    table.addSeparator();
+    std::vector<std::string> avg = {"avg |err|"};
+    for (const auto &s : specs)
+        avg.push_back(exp::Table::pct(exp::meanAbs(errs[s.name()])));
+    table.addRow(std::move(avg));
+
+    std::cout << "\nEstimator ablation (" << label << "): DEP with each "
+              << "base estimator, " << base.toString() << " -> "
+              << target.toString() << "\n\n";
+    table.print(std::cout);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::Args args(argc, argv);
+    const std::string dir = args.get("dir", "both");
+    const std::string only = args.get("only");
+
+    if (dir == "up" || dir == "both")
+        runDirection("low-to-high", Frequency::ghz(1.0),
+                     Frequency::ghz(4.0), only);
+    if (dir == "down" || dir == "both")
+        runDirection("high-to-low", Frequency::ghz(4.0),
+                     Frequency::ghz(1.0), only);
+
+    std::cout << "\nExpected ladder (paper Section II-A): STALL "
+                 "underestimates the non-scaling\ncomponent (work "
+                 "commits underneath misses), Leading Loads misses "
+                 "variable\nlatency, CRIT tracks the critical "
+                 "dependence path. ORACLE reports the base\nrun's "
+                 "true exposed memory time; note that CRIT can beat "
+                 "it: overlap\nshrinks at higher frequency, so "
+                 "CRIT's deliberate over-counting of\nhidden misses "
+                 "anticipates the exposure the oracle cannot.\n";
+    return 0;
+}

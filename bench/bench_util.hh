@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Shared helpers for the experiment harness binaries.
+ */
+
+#ifndef DVFS_BENCH_BENCH_UTIL_HH
+#define DVFS_BENCH_BENCH_UTIL_HH
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace dvfs::bench {
+
+/** Minimal flag parser: --key=value and boolean --key. */
+class Args
+{
+  public:
+    Args(int argc, char **argv)
+    {
+        for (int i = 1; i < argc; ++i)
+            _args.emplace_back(argv[i]);
+    }
+
+    std::string
+    get(const std::string &key, const std::string &def = "") const
+    {
+        const std::string prefix = "--" + key + "=";
+        for (const auto &a : _args) {
+            if (a.rfind(prefix, 0) == 0)
+                return a.substr(prefix.size());
+        }
+        return def;
+    }
+
+    bool
+    has(const std::string &key) const
+    {
+        const std::string flag = "--" + key;
+        const std::string prefix = flag + "=";
+        for (const auto &a : _args) {
+            if (a == flag || a.rfind(prefix, 0) == 0)
+                return true;
+        }
+        return false;
+    }
+
+    double
+    getDouble(const std::string &key, double def) const
+    {
+        std::string v = get(key);
+        return v.empty() ? def : std::stod(v);
+    }
+
+    long
+    getInt(const std::string &key, long def) const
+    {
+        std::string v = get(key);
+        return v.empty() ? def : std::stol(v);
+    }
+
+  private:
+    std::vector<std::string> _args;
+};
+
+} // namespace dvfs::bench
+
+#endif // DVFS_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Figure 3 reproduction: per-benchmark DVFS prediction errors for
+ * M+CRIT, COOP and DEP, each with and without BURST.
+ *
+ * (a) --dir=up   : base 1 GHz, targets 2/3/4 GHz
+ * (b) --dir=down : base 4 GHz, targets 3/2/1 GHz
+ * --dir=both (default) prints both.
+ *
+ * For every benchmark the harness runs the ground truth at the base
+ * and at each target frequency, feeds the base-run record to each
+ * predictor, and reports the signed relative error estimated/actual-1
+ * (negative = execution time underestimated), plus the average
+ * absolute error across benchmarks — the paper's headline metric
+ * (6% for DEP+BURST at 4 GHz from 1 GHz; 27% for M+CRIT).
+ *
+ * Usage: fig3_accuracy [--dir=up|down|both] [--only=<benchmark>]
+ */
+
+#include <iostream>
+#include <map>
+#include <vector>
+
+#include "bench_util.hh"
+#include "exp/experiment.hh"
+#include "exp/table.hh"
+#include "pred/predictors.hh"
+
+using namespace dvfs;
+
+namespace {
+
+struct Direction {
+    const char *label;
+    Frequency base;
+    std::vector<Frequency> targets;
+};
+
+void
+runDirection(const Direction &dir, const std::string &only)
+{
+    std::cout << "\nFigure 3 (" << dir.label
+              << "): base " << dir.base.toString() << "\n\n";
+
+    auto predictors = pred::makeFigure3Predictors();
+
+    // errors[predictor][target] -> per-benchmark list
+    std::map<std::string, std::map<std::uint32_t, std::vector<double>>>
+        errors;
+
+    std::vector<std::string> headers = {"benchmark", "predictor"};
+    for (auto t : dir.targets)
+        headers.push_back("err @" + t.toString());
+    exp::Table table(headers);
+
+    for (const auto &params : wl::dacapoSuite()) {
+        if (!only.empty() && params.name != only)
+            continue;
+
+        auto base_run = exp::runFixed(params, dir.base);
+        std::map<std::uint32_t, Tick> actual;
+        for (auto t : dir.targets)
+            actual[t.toMHz()] = exp::runFixed(params, t).totalTime;
+
+        bool first = true;
+        for (const auto &p : predictors) {
+            std::vector<std::string> row = {first ? params.name : "",
+                                            p->name()};
+            first = false;
+            for (auto t : dir.targets) {
+                Tick est = p->predict(base_run.record, t);
+                double err =
+                    pred::Predictor::relativeError(est, actual[t.toMHz()]);
+                errors[p->name()][t.toMHz()].push_back(err);
+                row.push_back(exp::Table::pct(err));
+            }
+            table.addRow(std::move(row));
+        }
+        table.addSeparator();
+    }
+
+    // Average absolute error rows.
+    for (const auto &p : predictors) {
+        std::vector<std::string> row = {"avg |err|", p->name()};
+        for (auto t : dir.targets)
+            row.push_back(
+                exp::Table::pct(exp::meanAbs(errors[p->name()][t.toMHz()])));
+        table.addRow(std::move(row));
+    }
+
+    table.print(std::cout);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::Args args(argc, argv);
+    const std::string dir = args.get("dir", "both");
+    const std::string only = args.get("only");
+
+    Direction up{"a: low-to-high", Frequency::ghz(1.0),
+                 {Frequency::ghz(2.0), Frequency::ghz(3.0),
+                  Frequency::ghz(4.0)}};
+    Direction down{"b: high-to-low", Frequency::ghz(4.0),
+                   {Frequency::ghz(3.0), Frequency::ghz(2.0),
+                    Frequency::ghz(1.0)}};
+
+    if (dir == "up" || dir == "both")
+        runDirection(up, only);
+    if (dir == "down" || dir == "both")
+        runDirection(down, only);
+    return 0;
+}

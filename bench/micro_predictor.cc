@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Microbenchmarks (google-benchmark) for the predictor layer: what the
+ * paper's "kernel module" would pay online, per epoch and per quantum.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "exp/experiment.hh"
+#include "pred/predictors.hh"
+
+using namespace dvfs;
+using namespace dvfs::pred;
+
+namespace {
+
+/** A reusable mid-size record (built once per process). */
+const RunRecord &
+sampleRecord()
+{
+    static RunRecord rec = [] {
+        auto params = wl::syntheticSmall(4, 300);
+        params.lockProb = 0.4;
+        return exp::runFixed(params, Frequency::ghz(1.0)).record;
+    }();
+    return rec;
+}
+
+} // namespace
+
+static void
+BM_DepBurstPredict(benchmark::State &state)
+{
+    const RunRecord &rec = sampleRecord();
+    DepPredictor p({BaseEstimator::Crit, true}, true);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(p.predict(rec, Frequency::ghz(4.0)));
+    state.counters["epochs"] =
+        static_cast<double>(rec.epochs.size());
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(rec.epochs.size()));
+}
+BENCHMARK(BM_DepBurstPredict);
+
+static void
+BM_DepPerEpochPredict(benchmark::State &state)
+{
+    const RunRecord &rec = sampleRecord();
+    DepPredictor p({BaseEstimator::Crit, true}, false);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(p.predict(rec, Frequency::ghz(4.0)));
+}
+BENCHMARK(BM_DepPerEpochPredict);
+
+static void
+BM_MCritPredict(benchmark::State &state)
+{
+    const RunRecord &rec = sampleRecord();
+    MCritPredictor p({BaseEstimator::Crit, false});
+    for (auto _ : state)
+        benchmark::DoNotOptimize(p.predict(rec, Frequency::ghz(4.0)));
+}
+BENCHMARK(BM_MCritPredict);
+
+static void
+BM_CoopPredict(benchmark::State &state)
+{
+    const RunRecord &rec = sampleRecord();
+    CoopPredictor p({BaseEstimator::Crit, false});
+    for (auto _ : state)
+        benchmark::DoNotOptimize(p.predict(rec, Frequency::ghz(4.0)));
+}
+BENCHMARK(BM_CoopPredict);
+
+/** The energy manager's inner loop: one quantum, all 25 points. */
+static void
+BM_ManagerQuantumSweep(benchmark::State &state)
+{
+    const RunRecord &rec = sampleRecord();
+    DepPredictor p({BaseEstimator::Crit, true}, true);
+    auto table = power::VfTable::haswell();
+    const std::size_t window = std::min<std::size_t>(32, rec.epochs.size());
+    for (auto _ : state) {
+        Tick acc = 0;
+        for (const auto &pt : table.points()) {
+            double ratio = 4000.0 / pt.freq.toMHz();
+            acc += p.predictEpochRange(rec.epochs, 0, window, ratio);
+        }
+        benchmark::DoNotOptimize(acc);
+    }
+}
+BENCHMARK(BM_ManagerQuantumSweep);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Microbenchmarks (google-benchmark) for the simulator substrate:
+ * event-queue throughput, DRAM/cache model cost, and whole-benchmark
+ * simulation rate (the "ablation" data for DESIGN.md's atomic-cluster
+ * issue decision: how much wall time one simulated run costs).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "exp/experiment.hh"
+#include "sim/event_queue.hh"
+#include "sim/rng.hh"
+#include "uarch/cache.hh"
+#include "uarch/dram.hh"
+
+using namespace dvfs;
+
+static void
+BM_EventQueueScheduleRun(benchmark::State &state)
+{
+    const int n = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        sim::EventQueue eq;
+        std::uint64_t sink = 0;
+        for (int i = 0; i < n; ++i)
+            eq.schedule(static_cast<Tick>((i * 7919) % 100000 + 1),
+                        [&sink] { ++sink; });
+        eq.run();
+        benchmark::DoNotOptimize(sink);
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventQueueScheduleRun)->Arg(1000)->Arg(100000);
+
+static void
+BM_DramRandomReads(benchmark::State &state)
+{
+    uarch::Dram dram;
+    sim::Rng rng(1);
+    Tick t = 0;
+    for (auto _ : state) {
+        t += 100000;
+        benchmark::DoNotOptimize(
+            dram.read(rng.nextBounded(1ULL << 30) & ~63ULL, t));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DramRandomReads);
+
+static void
+BM_CacheHierarchyLoad(benchmark::State &state)
+{
+    uarch::Dram dram;
+    uarch::FreqDomain uncore("uncore", Frequency::mhz(1500));
+    uarch::CacheHierarchy mem(4, uarch::HierarchyConfig{}, dram, uncore);
+    sim::Rng rng(2);
+    Tick t = 0;
+    // A mix of hot (small region) and cold accesses.
+    for (auto _ : state) {
+        t += 1000;
+        std::uint64_t addr = rng.nextBool(0.7)
+                                 ? rng.nextBounded(64 * 1024)
+                                 : rng.nextBounded(1ULL << 28);
+        benchmark::DoNotOptimize(
+            mem.load(0, addr & ~63ULL, t, Frequency::ghz(2.0)));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheHierarchyLoad);
+
+/** Simulation rate: events per wall second for a full benchmark. */
+static void
+BM_FullRunSynthetic(benchmark::State &state)
+{
+    auto params = wl::syntheticSmall(4, 150);
+    std::uint64_t events = 0;
+    for (auto _ : state) {
+        auto out = exp::runFixed(params, Frequency::ghz(2.0));
+        events += out.events;
+        benchmark::DoNotOptimize(out.totalTime);
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(events));
+    state.SetLabel("items = simulated events");
+}
+BENCHMARK(BM_FullRunSynthetic);
+
+static void
+BM_FullRunDacapo(benchmark::State &state)
+{
+    auto params = wl::benchmarkByName("pmd.scale");
+    std::uint64_t events = 0;
+    for (auto _ : state) {
+        auto out = exp::runFixed(params, Frequency::ghz(2.0));
+        events += out.events;
+        benchmark::DoNotOptimize(out.totalTime);
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(events));
+    state.SetLabel("one full pmd.scale ground-truth run per iteration");
+}
+BENCHMARK(BM_FullRunDacapo);
+
+BENCHMARK_MAIN();

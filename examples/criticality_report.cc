@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Criticality stacks for a benchmark run: which thread should a
+ * criticality-aware (e.g. per-core DVFS) policy accelerate?
+ *
+ *   $ example_criticality_report [benchmark] [freq-mhz]
+ *
+ * Builds the Du Bois-style criticality stack from the same epoch
+ * stream DEP uses (src/pred/criticality.hh) and prints it next to
+ * per-thread busy time — the difference between the two columns is
+ * exactly the serialization the naive M+CRIT predictor cannot see.
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "exp/experiment.hh"
+#include "exp/table.hh"
+#include "pred/criticality.hh"
+#include "wl/builder.hh"
+
+using namespace dvfs;
+
+int
+main(int argc, char **argv)
+{
+    const std::string name = argc > 1 ? argv[1] : "avrora";
+    const auto freq = Frequency::mhz(
+        argc > 2 ? static_cast<std::uint32_t>(std::atoi(argv[2])) : 1000);
+
+    auto params = wl::benchmarkByName(name);
+    auto out = exp::runFixed(params, freq);
+    pred::CriticalityStack stack(out.record);
+
+    std::cout << "criticality stack for '" << name << "' at "
+              << freq.toString() << " (" << out.record.epochs.size()
+              << " epochs over " << ticksToMs(out.totalTime)
+              << " ms)\n\n";
+
+    exp::Table table({"thread", "criticality (ms)", "share", "busy (ms)",
+                      "serialization"});
+    for (const auto &s : stack.shares()) {
+        const auto &summary = out.record.threads.at(s.tid);
+        // A thread whose criticality exceeds its equal-share of busy
+        // time spends time as the lone runner: it serializes the app.
+        double serial = static_cast<double>(s.criticality) /
+                        std::max<double>(1.0, summary.totals.busyTime);
+        table.addRow({std::to_string(s.tid),
+                      exp::Table::fmt(ticksToMs(s.criticality), 3),
+                      exp::Table::pct(s.fraction),
+                      exp::Table::fmt(ticksToMs(summary.totals.busyTime),
+                                      3),
+                      exp::Table::fmt(serial, 2)});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nidle (no thread scheduled): "
+              << ticksToMs(stack.idleTime()) << " ms\n"
+              << "accounted: " << ticksToMs(stack.accountedTime())
+              << " of " << ticksToMs(out.totalTime) << " ms\n"
+              << "most critical thread: tid " << stack.mostCritical()
+              << "\n";
+    return 0;
+}

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * GC pause study: how stop-the-world collections shape DVFS
+ * sensitivity — the phase behaviour that lets the dynamic energy
+ * manager beat a fixed frequency (paper Section VI / Figure 7).
+ *
+ *   $ example_gc_pause_study [benchmark]
+ *
+ * Runs the benchmark once per frequency and decomposes the time into
+ * mutator vs. collector, showing that GC time barely scales with the
+ * core clock (it is memory-bound: trace chains + copy bursts) while
+ * mutator time does.
+ */
+
+#include <iostream>
+
+#include "exp/experiment.hh"
+#include "exp/table.hh"
+
+using namespace dvfs;
+
+int
+main(int argc, char **argv)
+{
+    const std::string name = argc > 1 ? argv[1] : "xalan";
+    auto params = wl::benchmarkByName(name);
+
+    std::cout << "GC pause study for '" << name << "' ("
+              << (params.memoryIntensive ? "memory" : "compute")
+              << "-intensive)\n\n";
+
+    exp::Table table({"frequency", "total (ms)", "mutator (ms)",
+                      "GC (ms)", "GC share", "GCs",
+                      "mutator speedup", "GC speedup"});
+
+    double mut_1ghz = 0.0, gc_1ghz = 0.0;
+    for (std::uint32_t mhz : {1000, 2000, 3000, 4000}) {
+        auto out = exp::runFixed(params, Frequency::mhz(mhz));
+        double total = ticksToMs(out.totalTime);
+        double gc = ticksToMs(out.gcTime);
+        double mut = total - gc;
+        if (mhz == 1000) {
+            mut_1ghz = mut;
+            gc_1ghz = gc;
+        }
+        table.addRow({Frequency::mhz(mhz).toString(),
+                      exp::Table::fmt(total, 2), exp::Table::fmt(mut, 2),
+                      exp::Table::fmt(gc, 2),
+                      exp::Table::pct(gc / total),
+                      std::to_string(out.collections),
+                      exp::Table::fmt(mut_1ghz / mut, 2),
+                      gc > 0 ? exp::Table::fmt(gc_1ghz / gc, 2) : "-"});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nReading guide: the mutator column should speed up "
+                 "close to the clock\nratio while the GC column barely "
+                 "moves — the collector is paced by DRAM\n(pointer "
+                 "chasing + copy bursts), which is exactly why an "
+                 "energy manager can\nclock down during collections "
+                 "almost for free.\n";
+    return 0;
+}

@@ -1,0 +1,89 @@
+#include "exp/experiment.hh"
+
+#include <cmath>
+
+#include "sim/log.hh"
+
+namespace dvfs::exp {
+
+FixedRunOutput
+runFixed(const wl::WorkloadParams &params, Frequency freq,
+         const FixedRunOptions &opts)
+{
+    os::SystemConfig sys_cfg = wl::defaultSystemConfig(freq);
+    sys_cfg.seed = opts.seed;
+    wl::BenchInstance inst = wl::buildBenchmark(params, sys_cfg);
+
+    pred::RunRecorder rec(*inst.sys, opts.keepEvents);
+    inst.sys->addListener(&rec);
+
+    power::VfTable table = power::VfTable::haswell();
+    power::EnergyMeter meter(*inst.sys, table);
+    if (opts.measureEnergy)
+        meter.attach();
+
+    os::RunResult res = inst.sys->run();
+    if (!res.finished)
+        fatal("benchmark '%s' did not finish at %s", params.name.c_str(),
+              freq.toString().c_str());
+    if (opts.measureEnergy)
+        meter.finish();
+
+    FixedRunOutput out;
+    out.freq = freq;
+    out.totalTime = res.totalTime;
+    out.record = rec.finalize();
+    out.energy = meter.energy();
+    out.collections = inst.runtime->collections();
+    out.gcTime = inst.runtime->gcTime();
+    out.allocatedBytes = inst.runtime->heap().totalAllocated();
+    out.totals = inst.sys->totalCounters();
+    out.events = res.events;
+    return out;
+}
+
+ManagedRunOutput
+runManaged(const wl::WorkloadParams &params,
+           const mgr::ManagerConfig &mgr_cfg, const power::VfTable &table,
+           std::uint64_t seed)
+{
+    os::SystemConfig sys_cfg = wl::defaultSystemConfig(table.highest());
+    sys_cfg.seed = seed;
+    wl::BenchInstance inst = wl::buildBenchmark(params, sys_cfg);
+
+    pred::RunRecorder rec(*inst.sys);
+    inst.sys->addListener(&rec);
+
+    power::EnergyMeter meter(*inst.sys, table);
+    meter.attach();
+
+    mgr::EnergyManager manager(*inst.sys, rec, table, mgr_cfg);
+    manager.attach();
+
+    os::RunResult res = inst.sys->run();
+    if (!res.finished)
+        fatal("managed run of '%s' did not finish", params.name.c_str());
+    meter.finish();
+
+    ManagedRunOutput out;
+    out.totalTime = res.totalTime;
+    out.energy = meter.energy();
+    out.decisions = manager.decisions();
+    out.collections = inst.runtime->collections();
+    out.averageGHz = inst.sys->coreDomain().averageGHz(0, res.totalTime);
+    out.transitions = inst.sys->coreDomain().transitions();
+    return out;
+}
+
+double
+meanAbs(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double x : xs)
+        s += std::fabs(x);
+    return s / static_cast<double>(xs.size());
+}
+
+} // namespace dvfs::exp

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Experiment harness: canonical ways to run a benchmark and collect
+ * everything the paper's evaluation needs.
+ */
+
+#ifndef DVFS_EXP_EXPERIMENT_HH
+#define DVFS_EXP_EXPERIMENT_HH
+
+#include <vector>
+
+#include "mgr/energy_manager.hh"
+#include "power/power_model.hh"
+#include "power/vf_table.hh"
+#include "pred/record.hh"
+#include "wl/builder.hh"
+#include "wl/suite.hh"
+
+namespace dvfs::exp {
+
+/** Everything collected from one fixed-frequency ground-truth run. */
+struct FixedRunOutput {
+    Frequency freq;
+    Tick totalTime = 0;
+    pred::RunRecord record;
+    power::EnergyBreakdown energy;
+    std::uint32_t collections = 0;
+    Tick gcTime = 0;
+    std::uint64_t allocatedBytes = 0;
+    uarch::PerfCounters totals;
+    std::uint64_t events = 0;
+};
+
+/** Options for runFixed. */
+struct FixedRunOptions {
+    bool keepEvents = false;     ///< retain the raw sync-event trace
+    bool measureEnergy = true;   ///< attach the energy meter
+    std::uint64_t seed = 42;     ///< machine seed (workload determinism)
+};
+
+/**
+ * Run @p params at a fixed frequency on the default Table II machine.
+ */
+FixedRunOutput runFixed(const wl::WorkloadParams &params, Frequency freq,
+                        const FixedRunOptions &opts = FixedRunOptions());
+
+/** Everything collected from one energy-manager-governed run. */
+struct ManagedRunOutput {
+    Tick totalTime = 0;
+    power::EnergyBreakdown energy;
+    std::vector<mgr::EnergyManager::Decision> decisions;
+    std::uint32_t collections = 0;
+    double averageGHz = 0.0;
+    std::uint64_t transitions = 0;
+};
+
+/**
+ * Run @p params under the energy manager (which starts the machine at
+ * the table's highest frequency).
+ */
+ManagedRunOutput runManaged(const wl::WorkloadParams &params,
+                            const mgr::ManagerConfig &mgr_cfg,
+                            const power::VfTable &table,
+                            std::uint64_t seed = 42);
+
+/** Mean of absolute values. */
+double meanAbs(const std::vector<double> &xs);
+
+} // namespace dvfs::exp
+
+#endif // DVFS_EXP_EXPERIMENT_HH

@@ -1,0 +1,86 @@
+#include "exp/table.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "sim/log.hh"
+
+namespace dvfs::exp {
+
+Table::Table(std::vector<std::string> headers)
+    : _headers(std::move(headers))
+{
+    if (_headers.empty())
+        fatal("a table needs at least one column");
+}
+
+void
+Table::addRow(std::vector<std::string> row)
+{
+    if (row.size() != _headers.size())
+        fatal("table row has %zu cells, expected %zu", row.size(),
+              _headers.size());
+    _rows.push_back(std::move(row));
+}
+
+void
+Table::addSeparator()
+{
+    _rows.emplace_back();
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<std::size_t> width(_headers.size());
+    for (std::size_t c = 0; c < _headers.size(); ++c)
+        width[c] = _headers[c].size();
+    for (const auto &row : _rows) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+    }
+
+    auto print_line = [&](char fill) {
+        for (std::size_t c = 0; c < width.size(); ++c) {
+            os << '+' << std::string(width[c] + 2, fill);
+        }
+        os << "+\n";
+    };
+    auto print_row = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < width.size(); ++c) {
+            const std::string &v = c < cells.size() ? cells[c] : "";
+            os << "| " << v << std::string(width[c] - v.size() + 1, ' ');
+        }
+        os << "|\n";
+    };
+
+    print_line('-');
+    print_row(_headers);
+    print_line('=');
+    for (const auto &row : _rows) {
+        if (row.empty())
+            print_line('-');
+        else
+            print_row(row);
+    }
+    print_line('-');
+}
+
+std::string
+Table::fmt(double v, int precision)
+{
+    std::ostringstream ss;
+    ss << std::fixed << std::setprecision(precision) << v;
+    return ss.str();
+}
+
+std::string
+Table::pct(double v, int precision)
+{
+    std::ostringstream ss;
+    ss << std::fixed << std::setprecision(precision) << (v * 100.0) << "%";
+    return ss.str();
+}
+
+} // namespace dvfs::exp

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Fixed-width ASCII table printer for the benchmark harnesses.
+ */
+
+#ifndef DVFS_EXP_TABLE_HH
+#define DVFS_EXP_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace dvfs::exp {
+
+/**
+ * Accumulates rows of strings and prints them with aligned columns.
+ */
+class Table
+{
+  public:
+    /** @param headers Column titles. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append one row (must match the header count). */
+    void addRow(std::vector<std::string> row);
+
+    /** Append a horizontal separator line. */
+    void addSeparator();
+
+    /** Render to @p os. */
+    void print(std::ostream &os) const;
+
+    /** Format helpers. */
+    static std::string fmt(double v, int precision = 2);
+    static std::string pct(double v, int precision = 1);
+
+  private:
+    std::vector<std::string> _headers;
+    std::vector<std::vector<std::string>> _rows;  ///< empty = separator
+};
+
+} // namespace dvfs::exp
+
+#endif // DVFS_EXP_TABLE_HH

@@ -1,0 +1,122 @@
+#include "mgr/energy_manager.hh"
+
+#include <algorithm>
+
+#include "sim/log.hh"
+
+namespace dvfs::mgr {
+
+EnergyManager::EnergyManager(os::System &sys, pred::RunRecorder &rec,
+                             const power::VfTable &table,
+                             const ManagerConfig &cfg)
+    : _sys(sys), _rec(rec), _table(table), _cfg(cfg),
+      _dep(cfg.model, cfg.acrossEpochCtp)
+{
+    if (_cfg.quantum == 0)
+        fatal("energy manager quantum must be positive");
+    if (_cfg.holdOff == 0)
+        fatal("energy manager hold-off must be at least one interval");
+    if (_cfg.tolerableSlowdown < 0.0)
+        fatal("tolerable slowdown cannot be negative");
+}
+
+void
+EnergyManager::attach()
+{
+    // The application always starts at the highest frequency; the
+    // first interval profiles it there (Section VI-A).
+    _sys.setFrequency(_table.highest());
+    _quantumStart = _sys.now();
+    _sinceChange = _cfg.holdOff;  // allow a decision at the first quantum
+    _sys.eventQueue().schedule(_sys.now() + _cfg.quantum,
+                               [this] { onQuantum(); });
+}
+
+Tick
+EnergyManager::predictQuantum(std::size_t epoch_first,
+                              std::size_t epoch_last, double ratio,
+                              bool &used_epochs) const
+{
+    const auto &epochs = _rec.epochs();
+    if (epoch_last > epoch_first) {
+        used_epochs = true;
+        return _dep.predictEpochRange(epochs, epoch_first, epoch_last,
+                                      ratio);
+    }
+
+    // No synchronization activity this quantum: fall back to the
+    // aggregate per-thread deltas (M+CRIT-style within the quantum).
+    used_epochs = false;
+    Tick best = 0;
+    for (std::size_t i = 0; i < _sys.numThreads(); ++i) {
+        const os::Thread &t = _sys.thread(static_cast<os::ThreadId>(i));
+        uarch::PerfCounters delta = t.counters;
+        if (i < _lastCounters.size())
+            delta = delta - _lastCounters[i];
+        if (delta.busyTime == 0)
+            continue;
+        best = std::max(best, pred::predictSpan(delta.busyTime, delta,
+                                                _cfg.model, ratio));
+    }
+    return best;
+}
+
+void
+EnergyManager::onQuantum()
+{
+    ++_quanta;
+    const auto &epochs = _rec.epochs();
+    const std::size_t first = _epochCursor;
+    const std::size_t last = epochs.size();
+    const Frequency f_cur = _sys.frequency();
+    const Frequency f_max = _table.highest();
+
+    ++_sinceChange;
+    if (_sinceChange >= _cfg.holdOff) {
+        bool used_epochs = false;
+
+        // Step 1: what would this quantum have taken at the highest
+        // frequency?
+        const double r_max = static_cast<double>(f_cur.toMHz()) /
+                             static_cast<double>(f_max.toMHz());
+        Tick t_ref = predictQuantum(first, last, r_max, used_epochs);
+
+        // Step 2: lowest candidate whose predicted slowdown stays
+        // inside the bound.
+        Frequency chosen = f_max;
+        double chosen_slowdown = 0.0;
+        if (t_ref > 0) {
+            for (const auto &p : _table.points()) {
+                const double r = static_cast<double>(f_cur.toMHz()) /
+                                 static_cast<double>(p.freq.toMHz());
+                Tick t_p = predictQuantum(first, last, r, used_epochs);
+                double slowdown = static_cast<double>(t_p) /
+                                      static_cast<double>(t_ref) -
+                                  1.0;
+                if (slowdown <= _cfg.tolerableSlowdown) {
+                    chosen = p.freq;
+                    chosen_slowdown = slowdown;
+                    break;  // points ascend: first hit is the lowest
+                }
+            }
+        }
+
+        if (chosen != f_cur)
+            _sinceChange = 0;
+        _sys.setFrequency(chosen);
+        _decisions.push_back(
+            Decision{_sys.now(), chosen, chosen_slowdown, used_epochs});
+    }
+
+    // Roll the window.
+    _epochCursor = last;
+    _lastCounters.resize(_sys.numThreads());
+    for (std::size_t i = 0; i < _sys.numThreads(); ++i)
+        _lastCounters[i] = _sys.thread(static_cast<os::ThreadId>(i)).counters;
+    _quantumStart = _sys.now();
+
+    _sys.eventQueue().schedule(_sys.now() + _cfg.quantum,
+                               [this] { onQuantum(); });
+}
+
+} // namespace dvfs::mgr

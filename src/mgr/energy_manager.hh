@@ -1,0 +1,113 @@
+/**
+ * @file
+ * The DVFS energy manager of Section VI.
+ *
+ * Every scheduling quantum the manager reads the DVFS counters and the
+ * epoch stream accumulated during the quantum, estimates the quantum's
+ * duration at every operating point (two-step: first re-normalize to
+ * the highest frequency, then evaluate each candidate), and picks the
+ * lowest frequency whose predicted slowdown relative to the highest
+ * frequency stays within the user-specified Tolerable-Slowdown. If
+ * each interval individually respects the bound, the whole run does —
+ * the paper's key guarantee argument.
+ *
+ * The per-quantum estimation uses DEP(+BURST) with across-epoch CTP by
+ * default; the ModelSpec and CTP mode are configurable so the
+ * benchmarks can ablate the predictor choice inside the manager.
+ */
+
+#ifndef DVFS_MGR_ENERGY_MANAGER_HH
+#define DVFS_MGR_ENERGY_MANAGER_HH
+
+#include <vector>
+
+#include "os/system.hh"
+#include "power/vf_table.hh"
+#include "pred/predictors.hh"
+#include "pred/record.hh"
+
+namespace dvfs::mgr {
+
+/** Manager parameters (Figure 5). */
+struct ManagerConfig {
+    /** Scheduling quantum. Paper: 5 ms; scaled default 50 us. */
+    Tick quantum = 50 * kTicksPerUs;
+
+    /** Intervals to wait after a change before changing again. */
+    std::uint32_t holdOff = 1;
+
+    /** Tolerable-Slowdown vs. always running at the highest point. */
+    double tolerableSlowdown = 0.05;
+
+    /** Per-thread scaling model used inside the manager. */
+    pred::ModelSpec model{pred::BaseEstimator::Crit, true};
+
+    /** Across-epoch CTP (Algorithm 1) vs. per-epoch CTP. */
+    bool acrossEpochCtp = true;
+};
+
+/**
+ * Quantum-driven DVFS governor.
+ */
+class EnergyManager
+{
+  public:
+    /** One frequency decision, for timeline reports (Figure 5). */
+    struct Decision {
+        Tick tick = 0;                ///< decision time (quantum end)
+        Frequency chosen;             ///< frequency for the next quantum
+        double predictedSlowdown = 0; ///< at the chosen point
+        bool usedEpochs = false;      ///< epoch path vs. aggregate path
+    };
+
+    /**
+     * @param sys   The machine to govern.
+     * @param rec   Live epoch recorder attached to the same machine.
+     * @param table Available operating points.
+     * @param cfg   Manager parameters.
+     */
+    EnergyManager(os::System &sys, pred::RunRecorder &rec,
+                  const power::VfTable &table, const ManagerConfig &cfg);
+
+    /**
+     * Arm the manager: jumps to the highest operating point (the
+     * paper's managers always start there) and schedules the first
+     * quantum. Call before System::run().
+     */
+    void attach();
+
+    /** Decision history. */
+    const std::vector<Decision> &decisions() const { return _decisions; }
+
+    /** Number of quanta evaluated. */
+    std::uint64_t quanta() const { return _quanta; }
+
+    const ManagerConfig &config() const { return _cfg; }
+
+  private:
+    void onQuantum();
+
+    /**
+     * Predicted duration of the last quantum had the machine run at
+     * @p ratio = f_current / f_candidate.
+     */
+    Tick predictQuantum(std::size_t epoch_first, std::size_t epoch_last,
+                        double ratio, bool &used_epochs) const;
+
+    os::System &_sys;
+    pred::RunRecorder &_rec;
+    const power::VfTable &_table;
+    ManagerConfig _cfg;
+    pred::DepPredictor _dep;
+
+    std::size_t _epochCursor = 0;
+    std::vector<uarch::PerfCounters> _lastCounters;
+    Tick _quantumStart = 0;
+    std::uint32_t _sinceChange = 0;
+    std::uint64_t _quanta = 0;
+    std::vector<Decision> _decisions;
+};
+
+} // namespace dvfs::mgr
+
+#endif // DVFS_MGR_ENERGY_MANAGER_HH

@@ -1,0 +1,79 @@
+#include "os/futex.hh"
+
+#include <algorithm>
+
+#include "sim/log.hh"
+
+namespace dvfs::os {
+
+SyncId
+FutexTable::allocate()
+{
+    return _next++;
+}
+
+void
+FutexTable::wait(SyncId f, ThreadId tid)
+{
+    if (f == kNoSync)
+        panic("futex wait on invalid sync id (thread %u)", tid);
+    _queues[f].push_back(tid);
+}
+
+std::vector<ThreadId>
+FutexTable::wake(SyncId f, std::uint32_t n)
+{
+    std::vector<ThreadId> woken;
+    auto it = _queues.find(f);
+    if (it == _queues.end())
+        return woken;
+    auto &q = it->second;
+    while (n-- > 0 && !q.empty()) {
+        woken.push_back(q.front());
+        q.pop_front();
+    }
+    if (q.empty())
+        _queues.erase(it);
+    return woken;
+}
+
+std::size_t
+FutexTable::waiters(SyncId f) const
+{
+    auto it = _queues.find(f);
+    return it == _queues.end() ? 0 : it->second.size();
+}
+
+bool
+FutexTable::remove(SyncId f, ThreadId tid)
+{
+    auto it = _queues.find(f);
+    if (it == _queues.end())
+        return false;
+    auto &q = it->second;
+    auto pos = std::find(q.begin(), q.end(), tid);
+    if (pos == q.end())
+        return false;
+    q.erase(pos);
+    if (q.empty())
+        _queues.erase(it);
+    return true;
+}
+
+std::size_t
+FutexTable::totalWaiters() const
+{
+    std::size_t n = 0;
+    for (const auto &[id, q] : _queues)
+        n += q.size();
+    return n;
+}
+
+void
+FutexTable::reset()
+{
+    _queues.clear();
+    _next = 0;
+}
+
+} // namespace dvfs::os

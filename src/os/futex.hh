@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Futex table: kernel-side wait queues keyed by sync id.
+ *
+ * Mirrors the Linux futex interface the paper intercepts: user-space
+ * synchronization objects (mutexes, barriers) enter the kernel only to
+ * sleep and to wake sleepers. The table holds FIFO wait queues; policy
+ * (who to wake, when) lives in the callers.
+ */
+
+#ifndef DVFS_OS_FUTEX_HH
+#define DVFS_OS_FUTEX_HH
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "os/action.hh"
+
+namespace dvfs::os {
+
+/**
+ * Wait queues for all futexes in the machine.
+ */
+class FutexTable
+{
+  public:
+    /** Allocate a fresh futex id. */
+    SyncId allocate();
+
+    /** Enqueue @p tid on futex @p f (caller marks the thread Blocked). */
+    void wait(SyncId f, ThreadId tid);
+
+    /**
+     * Dequeue up to @p n waiters from futex @p f, FIFO order.
+     * @return The woken thread ids (may be fewer than @p n).
+     */
+    std::vector<ThreadId> wake(SyncId f, std::uint32_t n);
+
+    /** Number of threads parked on futex @p f. */
+    std::size_t waiters(SyncId f) const;
+
+    /**
+     * Remove @p tid from whatever queue it is in (used only for
+     * diagnostics/teardown; normal operation never cancels waits).
+     * @return true if the thread was found and removed.
+     */
+    bool remove(SyncId f, ThreadId tid);
+
+    /** Total threads parked across all futexes. */
+    std::size_t totalWaiters() const;
+
+    /** Drop all queues and reset the id allocator. */
+    void reset();
+
+  private:
+    SyncId _next = 0;
+    std::unordered_map<SyncId, std::deque<ThreadId>> _queues;
+};
+
+} // namespace dvfs::os
+
+#endif // DVFS_OS_FUTEX_HH

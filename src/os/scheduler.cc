@@ -1,0 +1,74 @@
+#include "os/scheduler.hh"
+
+#include "sim/log.hh"
+
+namespace dvfs::os {
+
+Scheduler::Scheduler(std::uint32_t cores)
+{
+    if (cores == 0)
+        fatal("scheduler needs at least one core");
+    _coreOccupant.assign(cores, kNoThread);
+}
+
+std::int32_t
+Scheduler::freeCore() const
+{
+    for (std::size_t c = 0; c < _coreOccupant.size(); ++c) {
+        if (_coreOccupant[c] == kNoThread)
+            return static_cast<std::int32_t>(c);
+    }
+    return -1;
+}
+
+void
+Scheduler::assign(ThreadId tid, std::uint32_t c)
+{
+    DVFS_ASSERT(c < _coreOccupant.size(), "core index out of range");
+    DVFS_ASSERT(_coreOccupant[c] == kNoThread, "core already occupied");
+    _coreOccupant[c] = tid;
+}
+
+void
+Scheduler::release(std::uint32_t c)
+{
+    DVFS_ASSERT(c < _coreOccupant.size(), "core index out of range");
+    DVFS_ASSERT(_coreOccupant[c] != kNoThread, "releasing a free core");
+    _coreOccupant[c] = kNoThread;
+}
+
+void
+Scheduler::enqueueReady(ThreadId tid)
+{
+    _ready.push_back(tid);
+}
+
+ThreadId
+Scheduler::popReady()
+{
+    if (_ready.empty())
+        return kNoThread;
+    ThreadId t = _ready.front();
+    _ready.pop_front();
+    return t;
+}
+
+std::uint32_t
+Scheduler::busyCores() const
+{
+    std::uint32_t n = 0;
+    for (ThreadId t : _coreOccupant) {
+        if (t != kNoThread)
+            ++n;
+    }
+    return n;
+}
+
+void
+Scheduler::reset()
+{
+    std::fill(_coreOccupant.begin(), _coreOccupant.end(), kNoThread);
+    _ready.clear();
+}
+
+} // namespace dvfs::os

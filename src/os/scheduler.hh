@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Core-occupancy and ready-queue bookkeeping.
+ *
+ * Pure mechanism: the System decides *when* to schedule; the Scheduler
+ * tracks which thread occupies which core and who is waiting for one.
+ * FIFO ready queue (round-robin with the System's timeslice policy).
+ */
+
+#ifndef DVFS_OS_SCHEDULER_HH
+#define DVFS_OS_SCHEDULER_HH
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "os/action.hh"
+
+namespace dvfs::os {
+
+/**
+ * Tracks cores and the ready queue.
+ */
+class Scheduler
+{
+  public:
+    explicit Scheduler(std::uint32_t cores);
+
+    /** Number of cores. */
+    std::uint32_t cores() const
+    {
+        return static_cast<std::uint32_t>(_coreOccupant.size());
+    }
+
+    /** Index of a free core, or -1. */
+    std::int32_t freeCore() const;
+
+    /** Thread on core @p c, or kNoThread. */
+    ThreadId occupant(std::uint32_t c) const { return _coreOccupant[c]; }
+
+    /** Place @p tid on core @p c (must be free). */
+    void assign(ThreadId tid, std::uint32_t c);
+
+    /** Vacate core @p c (must be occupied). */
+    void release(std::uint32_t c);
+
+    /** Append @p tid to the ready queue. */
+    void enqueueReady(ThreadId tid);
+
+    /** Pop the oldest ready thread, or kNoThread. */
+    ThreadId popReady();
+
+    bool hasReady() const { return !_ready.empty(); }
+    std::size_t readyCount() const { return _ready.size(); }
+
+    /** Number of occupied cores. */
+    std::uint32_t busyCores() const;
+
+    /** Clear all state, keeping the core count. */
+    void reset();
+
+  private:
+    std::vector<ThreadId> _coreOccupant;
+    std::deque<ThreadId> _ready;
+};
+
+} // namespace dvfs::os
+
+#endif // DVFS_OS_SCHEDULER_HH

@@ -1,0 +1,572 @@
+#include "os/system.hh"
+
+#include <algorithm>
+
+#include "sim/log.hh"
+
+namespace dvfs::os {
+
+const char *
+actionKindName(ActionKind kind)
+{
+    switch (kind) {
+      case ActionKind::Compute: return "Compute";
+      case ActionKind::MissCluster: return "MissCluster";
+      case ActionKind::StoreBurst: return "StoreBurst";
+      case ActionKind::MutexLock: return "MutexLock";
+      case ActionKind::MutexUnlock: return "MutexUnlock";
+      case ActionKind::BarrierWait: return "BarrierWait";
+      case ActionKind::FutexWait: return "FutexWait";
+      case ActionKind::Alloc: return "Alloc";
+      case ActionKind::Join: return "Join";
+      case ActionKind::Exit: return "Exit";
+    }
+    return "?";
+}
+
+const char *
+threadStateName(ThreadState s)
+{
+    switch (s) {
+      case ThreadState::New: return "New";
+      case ThreadState::Ready: return "Ready";
+      case ThreadState::Running: return "Running";
+      case ThreadState::Blocked: return "Blocked";
+      case ThreadState::Finished: return "Finished";
+    }
+    return "?";
+}
+
+const char *
+syncEventKindName(SyncEventKind kind)
+{
+    switch (kind) {
+      case SyncEventKind::ThreadSpawn: return "ThreadSpawn";
+      case SyncEventKind::ThreadExit: return "ThreadExit";
+      case SyncEventKind::FutexWait: return "FutexWait";
+      case SyncEventKind::FutexWake: return "FutexWake";
+      case SyncEventKind::SchedIn: return "SchedIn";
+      case SyncEventKind::SchedOut: return "SchedOut";
+      case SyncEventKind::GcBegin: return "GcBegin";
+      case SyncEventKind::GcEnd: return "GcEnd";
+      case SyncEventKind::RunEnd: return "RunEnd";
+    }
+    return "?";
+}
+
+System::System(const SystemConfig &cfg)
+    : _cfg(cfg),
+      _coreDomain("core", cfg.coreFreq),
+      _uncoreDomain("uncore", cfg.uncoreFreq),
+      _dram(cfg.dram),
+      _sched(cfg.cores),
+      _rootRng(cfg.seed)
+{
+    _mem = std::make_unique<uarch::CacheHierarchy>(cfg.cores, cfg.caches,
+                                                   _dram, _uncoreDomain);
+    _cores.reserve(cfg.cores);
+    for (std::uint32_t c = 0; c < cfg.cores; ++c) {
+        _cores.push_back(std::make_unique<uarch::CoreModel>(
+            c, cfg.core, *_mem, _coreDomain));
+    }
+}
+
+ThreadId
+System::addThread(const std::string &name,
+                  std::unique_ptr<ThreadProgram> program, bool service)
+{
+    if (_runStarted)
+        fatal("cannot add threads after the run started");
+    auto tid = static_cast<ThreadId>(_threads.size());
+    auto t = std::make_unique<Thread>(tid, name, std::move(program),
+                                      service, _rootRng.split(tid + 1));
+    t->exitFutex = _futexes.allocate();
+    _threads.push_back(std::move(t));
+    _pendingWake.push_back(false);
+    return tid;
+}
+
+SyncId
+System::createMutex()
+{
+    SyncId f = _futexes.allocate();
+    _mutexes.emplace(f, MutexObj{f, false, kNoThread});
+    return f;
+}
+
+SyncId
+System::createBarrier(std::uint32_t parties)
+{
+    if (parties == 0)
+        fatal("barrier needs at least one party");
+    SyncId f = _futexes.allocate();
+    _barriers.emplace(f, BarrierObj{f, parties, 0});
+    return f;
+}
+
+SyncId
+System::createFutex()
+{
+    return _futexes.allocate();
+}
+
+void
+System::emit(SyncEventKind kind, ThreadId tid, SyncId futex)
+{
+    SyncEvent ev{_eq.now(), kind, tid, futex};
+    for (auto *l : _listeners)
+        l->onSyncEvent(ev, *this);
+}
+
+void
+System::recordPhaseEvent(SyncEventKind kind)
+{
+    DVFS_ASSERT(kind == SyncEventKind::GcBegin ||
+                kind == SyncEventKind::GcEnd,
+                "recordPhaseEvent takes only GC phase markers");
+    emit(kind, kNoThread, kNoSync);
+}
+
+void
+System::addFrequencyObserver(std::function<void(Frequency, Tick)> fn)
+{
+    _freqObservers.push_back(std::move(fn));
+}
+
+void
+System::setFrequency(Frequency f)
+{
+    if (!f.valid())
+        fatal("setFrequency: invalid frequency");
+    if (f == _coreDomain.frequency())
+        return;
+    // All in-flight work completes with the old timing; newly
+    // dispatched work waits out the chip-wide transition stall.
+    _frozenUntil = std::max(_frozenUntil,
+                            _eq.now() + _cfg.dvfsTransitionLatency);
+    for (auto &fn : _freqObservers)
+        fn(f, _eq.now());
+    _coreDomain.setFrequency(f, _eq.now());
+}
+
+std::uint32_t
+System::futexWake(SyncId f, std::uint32_t n)
+{
+    auto woken = _futexes.wake(f, n);
+    for (ThreadId tid : woken) {
+        Thread &w = *_threads[tid];
+        if (w.state == ThreadState::Blocked) {
+            becomeReady(w, true);
+        } else {
+            // The waiter has not committed its sleep yet; its
+            // park will turn into an immediate continue.
+            _pendingWake[tid] = true;
+        }
+    }
+    return static_cast<std::uint32_t>(woken.size());
+}
+
+std::uint32_t
+System::futexWakeAll(SyncId f)
+{
+    return futexWake(f, std::numeric_limits<std::uint32_t>::max());
+}
+
+void
+System::becomeReady(Thread &t, bool isWake)
+{
+    emit(isWake ? SyncEventKind::FutexWake : SyncEventKind::ThreadSpawn,
+         t.id, isWake ? t.blockedOn : kNoSync);
+    t.state = ThreadState::Ready;
+    t.blockedOn = kNoSync;
+    _sched.enqueueReady(t.id);
+    requestFill();
+}
+
+void
+System::requestFill()
+{
+    if (_fillPending || _runEnded)
+        return;
+    _fillPending = true;
+    _eq.schedule(_eq.now(), [this] {
+        _fillPending = false;
+        fillCores();
+    });
+}
+
+void
+System::fillCores()
+{
+    while (_sched.hasReady()) {
+        std::int32_t c = _sched.freeCore();
+        if (c < 0)
+            return;
+        ThreadId tid = _sched.popReady();
+        schedIn(*_threads[tid], static_cast<std::uint32_t>(c));
+    }
+}
+
+void
+System::schedIn(Thread &t, std::uint32_t c)
+{
+    DVFS_ASSERT(t.state == ThreadState::Ready, "schedIn of non-ready thread");
+    _sched.assign(t.id, c);
+    t.state = ThreadState::Running;
+    t.core = static_cast<std::int32_t>(c);
+    t.sliceStart = _eq.now();
+    if (t.firstRunTick == kTickNever)
+        t.firstRunTick = _eq.now();
+    emit(SyncEventKind::SchedIn, t.id);
+
+    // Context-switch cost: kernel instructions charged to the
+    // incoming thread, scaling with frequency like any other code.
+    uarch::ComputeSpec cs{_cfg.ctxSwitchInstructions, 0, 0, 1.0};
+    uarch::PerfCounters tmp;
+    Tick end = _cores[c]->executeCompute(cs, frozenStart(_eq.now()), tmp);
+    Thread *tp = &t;
+    _eq.schedule(end, [this, tp, tmp] {
+        tp->counters += tmp;
+        dispatch(*tp);
+    });
+}
+
+void
+System::dispatch(Thread &t)
+{
+    if (_runEnded)
+        return;
+    DVFS_ASSERT(t.state == ThreadState::Running,
+                "dispatch of non-running thread");
+
+    std::optional<Action> a;
+    if (_interceptor)
+        a = _interceptor->interceptNext(t);
+    if (!a) {
+        ThreadContext ctx{t.id, t.rng};
+        a = t.program->next(ctx);
+    }
+    execute(t, std::move(*a));
+}
+
+void
+System::execute(Thread &t, Action a)
+{
+    DVFS_ASSERT(t.core >= 0, "executing on no core");
+    uarch::CoreModel &core = *_cores[static_cast<std::uint32_t>(t.core)];
+    const Tick start = frozenStart(_eq.now());
+    Thread *tp = &t;
+
+    switch (a.kind) {
+      case ActionKind::Compute: {
+        uarch::PerfCounters tmp;
+        Tick end = core.executeCompute(a.compute, start, tmp);
+        _eq.schedule(end, [this, tp, end, tmp] {
+            finishTimedAction(*tp, end, tmp);
+        });
+        break;
+      }
+      case ActionKind::MissCluster: {
+        uarch::PerfCounters tmp;
+        Tick end = core.executeCluster(a.cluster, start, tmp);
+        _eq.schedule(end, [this, tp, end, tmp] {
+            finishTimedAction(*tp, end, tmp);
+        });
+        break;
+      }
+      case ActionKind::StoreBurst: {
+        uarch::PerfCounters tmp;
+        Tick end = core.executeStoreBurst(a.burst, start, tmp);
+        _eq.schedule(end, [this, tp, end, tmp] {
+            finishTimedAction(*tp, end, tmp);
+        });
+        break;
+      }
+      case ActionKind::MutexLock:
+        doMutexLock(t, a.sync);
+        break;
+      case ActionKind::MutexUnlock:
+        doMutexUnlock(t, a.sync);
+        break;
+      case ActionKind::BarrierWait:
+        doBarrierWait(t, a.sync);
+        break;
+      case ActionKind::FutexWait:
+        _futexes.wait(a.sync, t.id);
+        parkCommit(t, a.sync);
+        break;
+      case ActionKind::Alloc: {
+        std::optional<Action> repl;
+        if (_interceptor)
+            repl = _interceptor->onAlloc(t, a.allocBytes);
+        if (repl) {
+            execute(t, std::move(*repl));
+        } else {
+            // No managed runtime attached: allocation is free.
+            onActionDone(t);
+        }
+        break;
+      }
+      case ActionKind::Join:
+        doJoin(t, a.joinTarget);
+        break;
+      case ActionKind::Exit:
+        finishThread(t);
+        break;
+    }
+}
+
+void
+System::finishTimedAction(Thread &t, Tick end, const uarch::PerfCounters &d)
+{
+    DVFS_ASSERT(_eq.now() == end, "timed action finishing at wrong tick");
+    t.counters += d;
+    onActionDone(t);
+}
+
+void
+System::onActionDone(Thread &t)
+{
+    if (_runEnded)
+        return;
+    if (t.state != ThreadState::Running)
+        panic("thread %u ('%s') finished an action while %s", t.id,
+              t.name.c_str(), threadStateName(t.state));
+
+    // Round-robin: yield the core at action boundaries once the
+    // timeslice is exhausted and someone is waiting.
+    if (_sched.hasReady() && _eq.now() - t.sliceStart >= _cfg.timeslice) {
+        emit(SyncEventKind::SchedOut, t.id);
+        t.state = ThreadState::Ready;
+        vacateCore(t);
+        _sched.enqueueReady(t.id);
+        return;
+    }
+    dispatch(t);
+}
+
+void
+System::parkCommit(Thread &t, SyncId f)
+{
+    if (_pendingWake[t.id]) {
+        // A wake raced with the sleep: the futex_wait returns
+        // immediately (kernel-side value check), no sleep happens.
+        _pendingWake[t.id] = false;
+        onActionDone(t);
+        return;
+    }
+    t.blockedOn = f;
+    emit(SyncEventKind::FutexWait, t.id, f);
+    t.state = ThreadState::Blocked;
+    vacateCore(t);
+}
+
+void
+System::vacateCore(Thread &t)
+{
+    DVFS_ASSERT(t.core >= 0, "vacating with no core");
+    _sched.release(static_cast<std::uint32_t>(t.core));
+    t.core = -1;
+    requestFill();
+}
+
+void
+System::finishThread(Thread &t)
+{
+    emit(SyncEventKind::ThreadExit, t.id);
+    t.state = ThreadState::Finished;
+    t.exitTick = _eq.now();
+    vacateCore(t);
+    futexWakeAll(t.exitFutex);
+    if (t.id == _mainThread) {
+        emit(SyncEventKind::RunEnd, kNoThread);
+        _runEnded = true;
+    }
+}
+
+void
+System::doMutexLock(Thread &t, SyncId m)
+{
+    auto it = _mutexes.find(m);
+    if (it == _mutexes.end())
+        fatal("MutexLock on unknown mutex %u", m);
+    MutexObj &mu = it->second;
+    uarch::CoreModel &core = *_cores[static_cast<std::uint32_t>(t.core)];
+    Thread *tp = &t;
+
+    const bool contended = mu.held;
+    uarch::PerfCounters tmp;
+    Tick end = core.atomicRmw(frozenStart(_eq.now()), contended, tmp);
+
+    if (!contended) {
+        mu.held = true;
+        mu.owner = t.id;
+        _eq.schedule(end, [this, tp, end, tmp] {
+            finishTimedAction(*tp, end, tmp);
+        });
+        return;
+    }
+
+    // Contended: queue on the futex now (so an unlock between now and
+    // the sleep commit finds us), pay the failed-CAS cost, then sleep.
+    _futexes.wait(mu.futex, t.id);
+    MutexObj *mup = &mu;
+    _eq.schedule(end, [this, tp, mup, tmp] {
+        tp->counters += tmp;
+        parkCommit(*tp, mup->futex);
+    });
+}
+
+void
+System::doMutexUnlock(Thread &t, SyncId m)
+{
+    auto it = _mutexes.find(m);
+    if (it == _mutexes.end())
+        fatal("MutexUnlock on unknown mutex %u", m);
+    MutexObj &mu = it->second;
+    if (!mu.held || mu.owner != t.id)
+        panic("thread %u unlocking mutex %u it does not own", t.id, m);
+
+    uarch::CoreModel &core = *_cores[static_cast<std::uint32_t>(t.core)];
+    uarch::PerfCounters tmp;
+    Tick end = core.atomicRmw(frozenStart(_eq.now()), false, tmp);
+    Thread *tp = &t;
+    MutexObj *mup = &mu;
+    _eq.schedule(end, [this, tp, mup, end, tmp] {
+        auto woken = _futexes.wake(mup->futex, 1);
+        if (!woken.empty()) {
+            // Direct handoff: ownership passes to the woken waiter.
+            mup->owner = woken[0];
+            Thread &w = *_threads[woken[0]];
+            if (w.state == ThreadState::Blocked)
+                becomeReady(w, true);
+            else
+                _pendingWake[w.id] = true;
+        } else {
+            mup->held = false;
+            mup->owner = kNoThread;
+        }
+        finishTimedAction(*tp, end, tmp);
+    });
+}
+
+void
+System::doBarrierWait(Thread &t, SyncId b)
+{
+    auto it = _barriers.find(b);
+    if (it == _barriers.end())
+        fatal("BarrierWait on unknown barrier %u", b);
+    BarrierObj &bar = it->second;
+    uarch::CoreModel &core = *_cores[static_cast<std::uint32_t>(t.core)];
+    Thread *tp = &t;
+
+    uarch::PerfCounters tmp;
+    Tick end = core.atomicRmw(frozenStart(_eq.now()), bar.parties > 1, tmp);
+
+    bar.arrived += 1;
+    if (bar.arrived == bar.parties) {
+        // Last arrival releases everyone.
+        bar.arrived = 0;
+        BarrierObj *bp = &bar;
+        _eq.schedule(end, [this, tp, bp, end, tmp] {
+            futexWakeAll(bp->futex);
+            finishTimedAction(*tp, end, tmp);
+        });
+        return;
+    }
+
+    _futexes.wait(bar.futex, t.id);
+    BarrierObj *bp = &bar;
+    _eq.schedule(end, [this, tp, bp, tmp] {
+        tp->counters += tmp;
+        parkCommit(*tp, bp->futex);
+    });
+}
+
+void
+System::doJoin(Thread &t, ThreadId target)
+{
+    if (target >= _threads.size())
+        fatal("Join on unknown thread %u", target);
+    Thread &tgt = *_threads[target];
+    if (tgt.finished()) {
+        onActionDone(t);
+        return;
+    }
+    _futexes.wait(tgt.exitFutex, t.id);
+    parkCommit(t, tgt.exitFutex);
+}
+
+uarch::PerfCounters
+System::totalCounters() const
+{
+    uarch::PerfCounters sum;
+    for (const auto &t : _threads)
+        sum += t->counters;
+    return sum;
+}
+
+bool
+System::appThreadsQuiescent() const
+{
+    for (const auto &t : _threads) {
+        if (t->service)
+            continue;
+        if (t->state == ThreadState::Running ||
+            t->state == ThreadState::Ready) {
+            return false;
+        }
+    }
+    return true;
+}
+
+std::uint32_t
+System::liveAppThreads() const
+{
+    std::uint32_t n = 0;
+    for (const auto &t : _threads) {
+        if (!t->service && !t->finished())
+            ++n;
+    }
+    return n;
+}
+
+RunResult
+System::run(Tick limit)
+{
+    if (_runStarted)
+        fatal("System::run may be called only once");
+    if (_threads.empty())
+        fatal("System::run with no threads");
+    if (_mainThread == kNoThread)
+        fatal("System::run without a main thread");
+    _runStarted = true;
+
+    for (auto &t : _threads) {
+        t->spawnTick = _eq.now();
+        becomeReady(*t, false);
+    }
+
+    while (!_runEnded) {
+        if (_eq.executed() > _cfg.maxEvents)
+            panic("event cap exceeded (%llu events) — runaway simulation?",
+                  static_cast<unsigned long long>(_cfg.maxEvents));
+        if (limit != kTickNever && _eq.now() >= limit)
+            break;
+        if (!_eq.runOne())
+            break;
+    }
+
+    RunResult res;
+    res.finished = _runEnded;
+    res.events = _eq.executed();
+    const Thread &main = *_threads[_mainThread];
+    res.totalTime = main.exitTick != kTickNever ? main.exitTick : _eq.now();
+    if (!_runEnded) {
+        warn("run ended without main thread exit (deadlock or limit); "
+             "%zu threads blocked", _futexes.totalWaiters());
+    }
+    return res;
+}
+
+} // namespace dvfs::os

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * The synchronization event trace — what a DEP kernel module sees.
+ *
+ * The paper's predictor observes the machine through intercepted
+ * futex_wait/futex_wake system calls plus scheduler activity
+ * (Section III-B) and, for COOP, signals marking garbage-collection
+ * phases. SyncEvent is the simulator's rendering of that stream.
+ *
+ * Listeners are invoked *before* the thread-state change implied by
+ * the event is applied, so a listener closing an epoch observes the
+ * machine as it was during that epoch.
+ */
+
+#ifndef DVFS_OS_TRACE_HH
+#define DVFS_OS_TRACE_HH
+
+#include <cstdint>
+
+#include "os/action.hh"
+#include "sim/time.hh"
+
+namespace dvfs::os {
+
+class System;
+
+/** Kinds of observable synchronization/scheduling events. */
+enum class SyncEventKind {
+    ThreadSpawn, ///< thread became ready for the first time
+    ThreadExit,  ///< thread finished
+    FutexWait,   ///< thread is about to park (scheduled out + sleep)
+    FutexWake,   ///< thread was woken (about to become runnable)
+    SchedIn,     ///< thread placed on a core
+    SchedOut,    ///< thread preempted (timeslice), still runnable
+    GcBegin,     ///< stop-the-world collection starts (COOP signal)
+    GcEnd,       ///< collection finished, application resumes
+    RunEnd,      ///< benchmark finished (trace terminator)
+};
+
+/** Printable name of an event kind. */
+const char *syncEventKindName(SyncEventKind kind);
+
+/** One event in the synchronization trace. */
+struct SyncEvent {
+    Tick tick = 0;
+    SyncEventKind kind = SyncEventKind::RunEnd;
+    ThreadId tid = kNoThread;  ///< thread concerned (if any)
+    SyncId futex = kNoSync;    ///< futex concerned (if any)
+};
+
+/**
+ * Observer interface for the synchronization trace.
+ *
+ * The system reference allows listeners to snapshot thread state and
+ * counters at the event boundary.
+ */
+class SyncListener
+{
+  public:
+    virtual ~SyncListener() = default;
+
+    /** Called for every trace event, in tick order. */
+    virtual void onSyncEvent(const SyncEvent &ev, const System &sys) = 0;
+};
+
+} // namespace dvfs::os
+
+#endif // DVFS_OS_TRACE_HH

@@ -1,0 +1,245 @@
+#include "pred/predictors.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/log.hh"
+
+namespace dvfs::pred {
+
+const char *
+baseEstimatorName(BaseEstimator e)
+{
+    switch (e) {
+      case BaseEstimator::StallTime: return "STALL";
+      case BaseEstimator::LeadingLoads: return "LL";
+      case BaseEstimator::Crit: return "CRIT";
+      case BaseEstimator::Oracle: return "ORACLE";
+    }
+    return "?";
+}
+
+std::string
+ModelSpec::name() const
+{
+    std::string n = baseEstimatorName(base);
+    if (burst)
+        n += "+BURST";
+    return n;
+}
+
+namespace {
+
+double
+freqRatio(Frequency base, Frequency target)
+{
+    return static_cast<double>(base.toMHz()) /
+           static_cast<double>(target.toMHz());
+}
+
+} // namespace
+
+// ---------------------------------------------------------------- M+CRIT
+
+std::string
+MCritPredictor::name() const
+{
+    return "M+" + _spec.name();
+}
+
+Tick
+MCritPredictor::predict(const RunRecord &rec, Frequency target) const
+{
+    const double ratio = freqRatio(rec.baseFreq, target);
+    Tick best = 0;
+    for (const ThreadSummary &t : rec.threads) {
+        // A thread's "execution time" is its lifetime span: without
+        // epoch decomposition, futex wait time is indistinguishable
+        // from running time and lands in the scaling component — the
+        // naive predictor's central flaw (Section II-C). Threads whose
+        // CPU time is a negligible share of their lifetime (the
+        // harness driver parked in join, GC workers parked between
+        // collections) are pure coordinators; any practical
+        // implementation skips them, or the max would degenerate to
+        // ratio * total for every application.
+        Tick span = t.exitTick - t.spawnTick;
+        if (span == 0 ||
+            static_cast<double>(t.totals.busyTime) <
+                0.1 * static_cast<double>(span)) {
+            continue;
+        }
+        best = std::max(best, predictSpan(span, t.totals, _spec, ratio));
+    }
+    return best;
+}
+
+// ------------------------------------------------------------------ COOP
+
+std::string
+CoopPredictor::name() const
+{
+    return "COOP(" + _spec.name() + ")";
+}
+
+Tick
+CoopPredictor::predict(const RunRecord &rec, Frequency target) const
+{
+    const double ratio = freqRatio(rec.baseFreq, target);
+
+    // Phase boundaries: 0, each GC mark, end of run.
+    std::vector<Tick> cuts;
+    cuts.push_back(0);
+    for (const GcPhaseMark &m : rec.gcMarks)
+        cuts.push_back(m.tick);
+    cuts.push_back(rec.totalTime);
+
+    // Per phase, aggregate per-thread counter deltas from the epochs
+    // inside the phase, then apply M+CRIT within the phase.
+    Tick total = 0;
+    std::size_t ei = 0;
+    const std::size_t nthreads = rec.threads.size();
+    std::vector<Tick> busy(nthreads);
+    std::vector<uarch::PerfCounters> acc(nthreads);
+
+    for (std::size_t p = 0; p + 1 < cuts.size(); ++p) {
+        const Tick a = cuts[p];
+        const Tick b = cuts[p + 1];
+        if (b <= a)
+            continue;
+
+        std::fill(busy.begin(), busy.end(), 0);
+        std::fill(acc.begin(), acc.end(), uarch::PerfCounters{});
+        while (ei < rec.epochs.size() && rec.epochs[ei].end <= b) {
+            const Epoch &ep = rec.epochs[ei];
+            if (ep.start >= a) {
+                for (const EpochThread &et : ep.active) {
+                    busy[et.tid] += et.delta.busyTime;
+                    acc[et.tid] += et.delta;
+                }
+            }
+            ++ei;
+        }
+
+        // M+CRIT within the phase: a participating thread's execution
+        // time is its overlap with the phase (waits included — COOP
+        // fixes only the application/collector alternation, not
+        // fine-grained waits). Coordinator threads (negligible CPU
+        // share of the phase) are skipped as in MCritPredictor.
+        const Tick phase_len = b - a;
+        Tick phase_pred = 0;
+        for (std::size_t t = 0; t < nthreads; ++t) {
+            if (busy[t] == 0)
+                continue;
+            Tick span = std::min(rec.threads[t].exitTick, b) -
+                        std::max(rec.threads[t].spawnTick, a);
+            span = std::min(span, phase_len);
+            if (static_cast<double>(busy[t]) <
+                0.1 * static_cast<double>(span)) {
+                continue;
+            }
+            phase_pred = std::max(
+                phase_pred, predictSpan(span, acc[t], _spec, ratio));
+        }
+        total += phase_pred;
+    }
+    return total;
+}
+
+// ------------------------------------------------------------------- DEP
+
+std::string
+DepPredictor::name() const
+{
+    std::string n = "DEP";
+    if (_spec.burst)
+        n += "+BURST";
+    if (!_acrossEpochs)
+        n += "(per-epoch CTP)";
+    if (_spec.base != BaseEstimator::Crit)
+        n += "[" + std::string(baseEstimatorName(_spec.base)) + "]";
+    return n;
+}
+
+Tick
+DepPredictor::predictEpochRange(const std::vector<Epoch> &epochs,
+                                std::size_t first, std::size_t last,
+                                double ratio) const
+{
+    // Delta counters (Algorithm 1): accumulated slack per thread.
+    // Keyed sparsely: thread ids are small and dense in practice.
+    std::vector<double> delta;
+    auto delta_of = [&delta](os::ThreadId tid) -> double & {
+        if (tid >= delta.size())
+            delta.resize(tid + 1, 0.0);
+        return delta[tid];
+    };
+
+    double total = 0.0;
+    for (std::size_t i = first; i < last && i < epochs.size(); ++i) {
+        const Epoch &ep = epochs[i];
+
+        if (ep.active.empty()) {
+            // Nothing was scheduled (e.g. everyone asleep around a
+            // wake chain): the gap does not scale with frequency.
+            total += static_cast<double>(ep.duration());
+            continue;
+        }
+
+        if (!_acrossEpochs) {
+            // Per-epoch CTP: the epoch lasts as long as its slowest
+            // active thread, with no memory of earlier epochs.
+            Tick crit = 0;
+            for (const EpochThread &et : ep.active) {
+                crit = std::max(crit, predictSpan(et.delta.busyTime,
+                                                  et.delta, _spec, ratio));
+            }
+            total += static_cast<double>(crit);
+            continue;
+        }
+
+        // Across-epoch CTP, Algorithm 1 of the paper.
+        double epoch_pred = 0.0;
+        for (const EpochThread &et : ep.active) {
+            double a_t = static_cast<double>(
+                predictSpan(et.delta.busyTime, et.delta, _spec, ratio));
+            double e_t = a_t - delta_of(et.tid);
+            epoch_pred = std::max(epoch_pred, e_t);
+        }
+        epoch_pred = std::max(epoch_pred, 0.0);
+        for (const EpochThread &et : ep.active) {
+            double a_t = static_cast<double>(
+                predictSpan(et.delta.busyTime, et.delta, _spec, ratio));
+            delta_of(et.tid) += epoch_pred - a_t;
+        }
+        if (ep.stallTid != os::kNoThread)
+            delta_of(ep.stallTid) = 0.0;
+        total += epoch_pred;
+    }
+    return static_cast<Tick>(std::llround(total));
+}
+
+Tick
+DepPredictor::predict(const RunRecord &rec, Frequency target) const
+{
+    const double ratio = freqRatio(rec.baseFreq, target);
+    return predictEpochRange(rec.epochs, 0, rec.epochs.size(), ratio);
+}
+
+// ------------------------------------------------------------------ zoo
+
+std::vector<std::unique_ptr<Predictor>>
+makeFigure3Predictors()
+{
+    std::vector<std::unique_ptr<Predictor>> v;
+    const ModelSpec crit{BaseEstimator::Crit, false};
+    const ModelSpec crit_burst{BaseEstimator::Crit, true};
+    v.push_back(std::make_unique<MCritPredictor>(crit));
+    v.push_back(std::make_unique<MCritPredictor>(crit_burst));
+    v.push_back(std::make_unique<CoopPredictor>(crit));
+    v.push_back(std::make_unique<CoopPredictor>(crit_burst));
+    v.push_back(std::make_unique<DepPredictor>(crit));
+    v.push_back(std::make_unique<DepPredictor>(crit_burst));
+    return v;
+}
+
+} // namespace dvfs::pred

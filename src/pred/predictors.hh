@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Whole-application DVFS performance predictors.
+ *
+ * All predictors implement the same contract: given the RunRecord of a
+ * base-frequency run, estimate the total execution time at a target
+ * frequency. They differ in decomposition granularity:
+ *
+ *  - M+CRIT  (Section II-C): one interval per thread — its lifetime;
+ *    the application prediction is the slowest thread's prediction.
+ *    Wait time lands in the scaling component, the paper's motivating
+ *    flaw.
+ *  - COOP    (Section II-C): the timeline is cut only at GC phase
+ *    boundaries; M+CRIT is applied per phase and the phases are
+ *    summed.
+ *  - DEP     (Section III): the timeline is cut at every
+ *    synchronization epoch; per epoch the critical thread is found via
+ *    per-epoch CTP (max) or across-epoch CTP (Algorithm 1, with delta
+ *    counters carrying thread slack between epochs).
+ *
+ * Each takes a ModelSpec, so every combination the paper evaluates
+ * (M+CRIT, COOP, DEP, each with and without BURST, and DEP+BURST with
+ * per-epoch vs across-epoch CTP) is one constructor call.
+ */
+
+#ifndef DVFS_PRED_PREDICTORS_HH
+#define DVFS_PRED_PREDICTORS_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "pred/record.hh"
+#include "pred/scaling.hh"
+#include "sim/time.hh"
+
+namespace dvfs::pred {
+
+/**
+ * Interface of a whole-run execution-time predictor.
+ */
+class Predictor
+{
+  public:
+    virtual ~Predictor() = default;
+
+    /** Human-readable name, e.g. "DEP+BURST". */
+    virtual std::string name() const = 0;
+
+    /** Estimate total execution time at @p target. */
+    virtual Tick predict(const RunRecord &rec, Frequency target) const = 0;
+
+    /** Signed relative error vs. @p actual: estimated/actual - 1. */
+    static double
+    relativeError(Tick estimated, Tick actual)
+    {
+        return static_cast<double>(estimated) /
+                   static_cast<double>(actual) -
+               1.0;
+    }
+};
+
+/**
+ * M+CRIT: per-thread whole-lifetime scaling, slowest thread wins.
+ */
+class MCritPredictor : public Predictor
+{
+  public:
+    explicit MCritPredictor(ModelSpec spec) : _spec(spec) {}
+
+    std::string name() const override;
+    Tick predict(const RunRecord &rec, Frequency target) const override;
+
+  private:
+    ModelSpec _spec;
+};
+
+/**
+ * COOP: M+CRIT applied independently to application and collector
+ * phases (cut at the GC begin/end signals), summed.
+ */
+class CoopPredictor : public Predictor
+{
+  public:
+    explicit CoopPredictor(ModelSpec spec) : _spec(spec) {}
+
+    std::string name() const override;
+    Tick predict(const RunRecord &rec, Frequency target) const override;
+
+  private:
+    ModelSpec _spec;
+};
+
+/**
+ * DEP: synchronization-epoch decomposition with critical-thread
+ * prediction, per-epoch or across-epoch (Algorithm 1).
+ */
+class DepPredictor : public Predictor
+{
+  public:
+    /**
+     * @param spec          Per-thread estimator (CRIT for the paper's
+     *                      DEP; +burst for DEP+BURST).
+     * @param across_epochs true = across-epoch CTP (Algorithm 1),
+     *                      false = per-epoch CTP.
+     */
+    DepPredictor(ModelSpec spec, bool across_epochs = true)
+        : _spec(spec), _acrossEpochs(across_epochs)
+    {
+    }
+
+    std::string name() const override;
+    Tick predict(const RunRecord &rec, Frequency target) const override;
+
+    /**
+     * Predict the duration of a contiguous span of epochs — the
+     * building block shared by predict() and the energy manager's
+     * per-quantum estimation.
+     *
+     * @param epochs Epoch sequence (begin/end iterator-style indices).
+     * @param ratio  f_base / f_target.
+     */
+    Tick predictEpochRange(const std::vector<Epoch> &epochs,
+                           std::size_t first, std::size_t last,
+                           double ratio) const;
+
+  private:
+    ModelSpec _spec;
+    bool _acrossEpochs;
+};
+
+/** The full predictor zoo of Figure 3 (M+CRIT/COOP/DEP x +/-BURST). */
+std::vector<std::unique_ptr<Predictor>> makeFigure3Predictors();
+
+} // namespace dvfs::pred
+
+#endif // DVFS_PRED_PREDICTORS_HH

@@ -1,0 +1,94 @@
+#include "rt/gc_worker.hh"
+
+#include <algorithm>
+
+#include "rt/runtime.hh"
+#include "sim/log.hh"
+
+namespace dvfs::rt {
+
+GcWorkerProgram::GcWorkerProgram(Runtime &rt, std::uint32_t idx)
+    : _rt(rt), _idx(idx)
+{
+}
+
+os::Action
+GcWorkerProgram::next(os::ThreadContext &ctx)
+{
+    const RuntimeConfig &cfg = _rt.config();
+
+    switch (_state) {
+      case State::Parked:
+        // Woken by the runtime: a collection is starting.
+        _state = State::GrabWork;
+        return os::Action::makeFutexWait(_rt.gcWorkFutex());
+
+      case State::GrabWork:
+        _state = State::PopWork;
+        return os::Action::makeMutexLock(_rt.gcWorkLock());
+
+      case State::PopWork: {
+        // Inside the work lock: take a unit if any work remains.
+        std::uint64_t &rem = _rt.workerRemaining(_idx);
+        if (rem > 0) {
+            _unitBytes = std::min<std::uint64_t>(rem, cfg.copyUnitBytes);
+            rem -= _unitBytes;
+            _haveUnit = true;
+        } else {
+            _haveUnit = false;
+        }
+        _state = State::ReleaseWork;
+        return os::Action::makeCompute(cfg.workPopInstructions);
+      }
+
+      case State::ReleaseWork:
+        _state = _haveUnit ? State::Trace : State::Terminate;
+        return os::Action::makeMutexUnlock(_rt.gcWorkLock());
+
+      case State::Trace: {
+        // Pointer-chase the live objects of this unit: dependent
+        // loads spread over the used nursery. One unit takes several
+        // clusters (roughly one pointer hop per few tens of bytes).
+        uarch::MissClusterSpec spec;
+        std::uint64_t span = std::max<std::uint64_t>(
+            _rt.nurseryScanBytes(), 64);
+        for (std::uint32_t c = 0; c < cfg.traceChains; ++c) {
+            std::vector<std::uint64_t> chain;
+            chain.reserve(cfg.traceChainDepth);
+            for (std::uint32_t d = 0; d < cfg.traceChainDepth; ++d) {
+                std::uint64_t off = ctx.rng.nextBounded(span) & ~63ULL;
+                chain.push_back(_rt.nurseryScanBase() + off);
+            }
+            spec.chains.push_back(std::move(chain));
+        }
+        spec.overlapInstructions = cfg.traceOverlapInstructions;
+        if (++_traceClustersDone >= cfg.traceClustersPerUnit) {
+            _traceClustersDone = 0;
+            _state = State::Copy;
+        }
+        return os::Action::makeCluster(std::move(spec));
+      }
+
+      case State::Copy: {
+        // Evacuate the unit into the mature space: a store burst.
+        std::uint64_t target = _rt.copyTarget(_unitBytes);
+        auto lines = static_cast<std::uint32_t>((_unitBytes + 63) / 64);
+        _state = State::GrabWork;
+        return os::Action::makeStoreBurst(target, lines);
+      }
+
+      case State::Terminate:
+        _state = (_idx == 0) ? State::Finish : State::Parked;
+        return os::Action::makeBarrierWait(_rt.gcBarrier());
+
+      case State::Finish:
+        // Worker 0 completes the collection: resets the nursery and
+        // releases the mutators, then parks like everyone else.
+        _rt.finishCollection();
+        _state = State::GrabWork;
+        return os::Action::makeFutexWait(_rt.gcWorkFutex());
+    }
+    panic("unreachable GC worker state");
+}
+
+} // namespace dvfs::rt

@@ -1,0 +1,60 @@
+#include "rt/heap.hh"
+
+#include "sim/log.hh"
+
+namespace dvfs::rt {
+
+namespace {
+constexpr std::uint64_t kLine = 64;
+
+std::uint64_t
+roundUp(std::uint64_t v, std::uint64_t to)
+{
+    return (v + to - 1) / to * to;
+}
+} // namespace
+
+Heap::Heap(const HeapConfig &cfg)
+    : _cfg(cfg)
+{
+    if (_cfg.nurseryBytes < kLine || _cfg.matureBytes < kLine)
+        fatal("heap spaces must hold at least one line");
+}
+
+std::optional<std::uint64_t>
+Heap::allocate(std::uint64_t bytes)
+{
+    bytes = roundUp(bytes, kLine);
+    if (bytes > _cfg.nurseryBytes)
+        fatal("allocation of %llu bytes exceeds the nursery (%llu bytes)",
+              static_cast<unsigned long long>(bytes),
+              static_cast<unsigned long long>(_cfg.nurseryBytes));
+    if (_nurseryCursor + bytes > _cfg.nurseryBytes)
+        return std::nullopt;
+    std::uint64_t addr = nurseryBase() + _nurseryCursor;
+    _nurseryCursor += bytes;
+    _totalAllocated += bytes;
+    return addr;
+}
+
+std::uint64_t
+Heap::matureAlloc(std::uint64_t bytes)
+{
+    bytes = roundUp(bytes, kLine);
+    if (_matureCursor + bytes > _cfg.matureBytes)
+        _matureCursor = 0;
+    std::uint64_t addr = _cfg.matureBase + _matureCursor;
+    _matureCursor += bytes;
+    _totalCopied += bytes;
+    return addr;
+}
+
+void
+Heap::resetNursery()
+{
+    _nurseryCursor = 0;
+    if (_cfg.nurseryWindows > 1)
+        _window = (_window + 1) % _cfg.nurseryWindows;
+}
+
+} // namespace dvfs::rt

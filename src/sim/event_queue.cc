@@ -1,0 +1,132 @@
+#include "sim/event_queue.hh"
+
+#include "sim/log.hh"
+
+namespace dvfs::sim {
+
+EventQueue::EventQueue()
+    : _now(0), _nextSeq(1), _live(0), _executed(0)
+{
+}
+
+EventQueue::Entry *
+EventQueue::allocEntry()
+{
+    if (!_pool.empty()) {
+        Entry *e = _pool.back();
+        _pool.pop_back();
+        return e;
+    }
+    return new Entry();
+}
+
+void
+EventQueue::freeEntry(Entry *e)
+{
+    e->cb = nullptr;
+    if (_pool.size() < 4096) {
+        _pool.push_back(e);
+    } else {
+        delete e;
+    }
+}
+
+EventId
+EventQueue::schedule(Tick when, EventCallback cb)
+{
+    if (when < _now) {
+        panic("event scheduled in the past (when=%llu now=%llu)",
+              static_cast<unsigned long long>(when),
+              static_cast<unsigned long long>(_now));
+    }
+    Entry *e = allocEntry();
+    e->when = when;
+    e->seq = _nextSeq++;
+    e->cb = std::move(cb);
+    e->cancelled = false;
+    _heap.push(e);
+    _liveIndex.emplace(e->seq, e);
+    ++_live;
+    return e->seq;
+}
+
+bool
+EventQueue::cancel(EventId id)
+{
+    auto it = _liveIndex.find(id);
+    if (it == _liveIndex.end())
+        return false;
+    it->second->cancelled = true;
+    _liveIndex.erase(it);
+    --_live;
+    return true;
+}
+
+EventQueue::Entry *
+EventQueue::pop()
+{
+    while (!_heap.empty()) {
+        Entry *e = _heap.top();
+        _heap.pop();
+        if (e->cancelled) {
+            freeEntry(e);
+            continue;
+        }
+        return e;
+    }
+    return nullptr;
+}
+
+bool
+EventQueue::runOne()
+{
+    Entry *e = pop();
+    if (!e)
+        return false;
+    DVFS_ASSERT(e->when >= _now, "event time went backwards");
+    _now = e->when;
+    _liveIndex.erase(e->seq);
+    --_live;
+    ++_executed;
+    EventCallback cb = std::move(e->cb);
+    freeEntry(e);
+    cb();
+    return true;
+}
+
+std::uint64_t
+EventQueue::runUntil(Tick limit)
+{
+    std::uint64_t n = 0;
+    while (true) {
+        Entry *e = pop();
+        if (!e)
+            break;
+        if (e->when >= limit) {
+            // Put it back; it stays scheduled for a later call.
+            _heap.push(e);
+            _now = limit;
+            break;
+        }
+        _now = e->when;
+        _liveIndex.erase(e->seq);
+        --_live;
+        ++_executed;
+        ++n;
+        EventCallback cb = std::move(e->cb);
+        freeEntry(e);
+        cb();
+    }
+    return n;
+}
+
+std::uint64_t
+EventQueue::run()
+{
+    std::uint64_t n = 0;
+    while (runOne())
+        ++n;
+    return n;
+}
+
+} // namespace dvfs::sim

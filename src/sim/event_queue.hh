@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * The event queue is the single source of simulated time. Components
+ * schedule callbacks at absolute ticks; the kernel dispatches them in
+ * (tick, insertion-order) order, which makes simulations bitwise
+ * deterministic for a given workload and configuration.
+ */
+
+#ifndef DVFS_SIM_EVENT_QUEUE_HH
+#define DVFS_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/time.hh"
+
+namespace dvfs::sim {
+
+/** Callback type executed when an event fires. */
+using EventCallback = std::function<void()>;
+
+/** Opaque handle identifying a scheduled event (for cancellation). */
+using EventId = std::uint64_t;
+
+/** Sentinel for "no event". */
+constexpr EventId kNoEvent = 0;
+
+/**
+ * A deterministic discrete-event queue.
+ *
+ * Events scheduled for the same tick fire in insertion order. Events
+ * may schedule further events, including at the current tick (they run
+ * after all previously-inserted same-tick events). Scheduling in the
+ * past is a simulator bug and panics.
+ */
+class EventQueue
+{
+  public:
+    EventQueue();
+
+    /** Current simulated time. */
+    Tick now() const { return _now; }
+
+    /**
+     * Schedule @p cb to run at absolute time @p when.
+     *
+     * @param when Absolute tick, must be >= now().
+     * @param cb   Callback to execute.
+     * @return Handle usable with cancel().
+     */
+    EventId schedule(Tick when, EventCallback cb);
+
+    /** Schedule @p cb to run @p delay ticks from now. */
+    EventId
+    scheduleAfter(Tick delay, EventCallback cb)
+    {
+        return schedule(_now + delay, std::move(cb));
+    }
+
+    /**
+     * Cancel a previously scheduled event.
+     *
+     * Cancelling an event that already fired (or was already cancelled)
+     * is a no-op and returns false.
+     */
+    bool cancel(EventId id);
+
+    /** True if no runnable events remain. */
+    bool empty() const { return _live == 0; }
+
+    /** Number of pending (non-cancelled) events. */
+    std::uint64_t pending() const { return _live; }
+
+    /**
+     * Run the next event, advancing time to its tick.
+     *
+     * @return false if the queue was empty.
+     */
+    bool runOne();
+
+    /**
+     * Run events until the queue empties or @p limit is reached.
+     *
+     * Events scheduled at exactly @p limit are not executed; time
+     * stops at the last executed event (or @p limit if provided and
+     * events remain beyond it).
+     *
+     * @return Number of events executed.
+     */
+    std::uint64_t runUntil(Tick limit);
+
+    /** Run until the queue is empty. @return events executed. */
+    std::uint64_t run();
+
+    /** Total number of events executed since construction. */
+    std::uint64_t executed() const { return _executed; }
+
+  private:
+    struct Entry {
+        Tick when;
+        std::uint64_t seq;  ///< insertion order; also the EventId
+        EventCallback cb;
+        bool cancelled;
+    };
+
+    /** Min-heap ordering: earliest tick first, then insertion order. */
+    struct Later {
+        bool
+        operator()(const Entry *a, const Entry *b) const
+        {
+            if (a->when != b->when)
+                return a->when > b->when;
+            return a->seq > b->seq;
+        }
+    };
+
+    Entry *pop();
+
+    Tick _now;
+    std::uint64_t _nextSeq;
+    std::uint64_t _live;
+    std::uint64_t _executed;
+    std::priority_queue<Entry *, std::vector<Entry *>, Later> _heap;
+    std::vector<Entry *> _pool;  ///< freelist of recycled entries
+
+    Entry *allocEntry();
+    void freeEntry(Entry *e);
+
+    /** id -> heap entry, for cancellation; erased when an event fires. */
+    std::unordered_map<EventId, Entry *> _liveIndex;
+};
+
+} // namespace dvfs::sim
+
+#endif // DVFS_SIM_EVENT_QUEUE_HH

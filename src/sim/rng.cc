@@ -1,0 +1,95 @@
+#include "sim/rng.hh"
+
+#include <cmath>
+
+namespace dvfs::sim {
+
+namespace {
+
+/** splitmix64 step, used for seeding and stream splitting. */
+std::uint64_t
+splitmix64(std::uint64_t &state)
+{
+    state += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t sm = seed;
+    for (auto &s : _s)
+        s = splitmix64(sm);
+    // xoshiro must not start in the all-zero state.
+    if ((_s[0] | _s[1] | _s[2] | _s[3]) == 0)
+        _s[0] = 1;
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(_s[1] * 5, 7) * 9;
+    const std::uint64_t t = _s[1] << 17;
+    _s[2] ^= _s[0];
+    _s[3] ^= _s[1];
+    _s[1] ^= _s[2];
+    _s[0] ^= _s[3];
+    _s[2] ^= t;
+    _s[3] = rotl(_s[3], 45);
+    return result;
+}
+
+std::uint64_t
+Rng::nextBounded(std::uint64_t bound)
+{
+    if (bound == 0)
+        return 0;
+    // 128-bit multiply-shift; negligible, deterministic bias.
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(next()) * bound) >> 64);
+}
+
+double
+Rng::nextDouble()
+{
+    // 53 random mantissa bits.
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::nextBool(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return nextDouble() < p;
+}
+
+double
+Rng::nextExp(double mean)
+{
+    double u = nextDouble();
+    if (u < 1e-12)
+        u = 1e-12;
+    return -mean * std::log(u);
+}
+
+Rng
+Rng::split(std::uint64_t salt)
+{
+    std::uint64_t sm = _s[0] ^ rotl(salt, 13) ^ (_s[3] + salt);
+    return Rng(splitmix64(sm));
+}
+
+} // namespace dvfs::sim

@@ -1,0 +1,119 @@
+#include "sim/stats.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "sim/log.hh"
+
+namespace dvfs::sim {
+
+void
+Accumulator::add(double v)
+{
+    ++_count;
+    _sum += v;
+    _min = std::min(_min, v);
+    _max = std::max(_max, v);
+}
+
+void
+Accumulator::reset()
+{
+    _count = 0;
+    _sum = 0.0;
+    _min = std::numeric_limits<double>::infinity();
+    _max = -std::numeric_limits<double>::infinity();
+}
+
+Histogram::Histogram(std::size_t buckets, double limit)
+    : _limit(limit), _counts(buckets, 0), _overflow(0), _count(0)
+{
+    if (buckets == 0 || limit <= 0.0)
+        fatal("histogram needs >=1 bucket and positive limit");
+}
+
+double
+Histogram::bucketWidth() const
+{
+    return _limit / static_cast<double>(_counts.size());
+}
+
+void
+Histogram::add(double v)
+{
+    ++_count;
+    if (v < 0.0)
+        v = 0.0;
+    if (v >= _limit) {
+        ++_overflow;
+        return;
+    }
+    auto idx = static_cast<std::size_t>(v / bucketWidth());
+    if (idx >= _counts.size())
+        idx = _counts.size() - 1;
+    ++_counts[idx];
+}
+
+void
+Histogram::reset()
+{
+    std::fill(_counts.begin(), _counts.end(), 0);
+    _overflow = 0;
+    _count = 0;
+}
+
+double
+Histogram::percentile(double p) const
+{
+    if (_count == 0)
+        return 0.0;
+    p = std::clamp(p, 0.0, 1.0);
+    auto target = static_cast<std::uint64_t>(p * static_cast<double>(_count));
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < _counts.size(); ++i) {
+        seen += _counts[i];
+        if (seen >= target)
+            return (static_cast<double>(i) + 1.0) * bucketWidth();
+    }
+    return _limit;
+}
+
+void
+StatRegistry::addCounter(const std::string &name, const Counter &c)
+{
+    addScalar(name, &c, [](const void *obj) {
+        return static_cast<double>(static_cast<const Counter *>(obj)->value());
+    });
+}
+
+void
+StatRegistry::addAccumulator(const std::string &name, const Accumulator &a)
+{
+    addScalar(name, &a, [](const void *obj) {
+        return static_cast<const Accumulator *>(obj)->sum();
+    });
+}
+
+void
+StatRegistry::addScalar(const std::string &name, const void *obj, Getter get)
+{
+    _items.push_back(Item{name, obj, get});
+}
+
+std::map<std::string, double>
+StatRegistry::snapshot() const
+{
+    std::map<std::string, double> out;
+    for (const auto &item : _items)
+        out[item.name] = item.get(item.obj);
+    return out;
+}
+
+void
+StatRegistry::dump(std::ostream &os) const
+{
+    for (const auto &[name, value] : snapshot())
+        os << name << " " << value << "\n";
+}
+
+} // namespace dvfs::sim

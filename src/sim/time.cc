@@ -1,0 +1,17 @@
+#include "sim/time.hh"
+
+#include "sim/log.hh"
+
+namespace dvfs {
+
+std::string
+Frequency::toString() const
+{
+    if (_mhz == 0)
+        return "<invalid>";
+    if (_mhz % 1000 == 0)
+        return strprintf("%u.0 GHz", _mhz / 1000);
+    return strprintf("%.3f GHz", toGHz());
+}
+
+} // namespace dvfs

@@ -1,0 +1,264 @@
+#include "uarch/cache.hh"
+
+#include "sim/log.hh"
+
+namespace dvfs::uarch {
+
+const char *
+hitLevelName(HitLevel level)
+{
+    switch (level) {
+      case HitLevel::L1: return "L1";
+      case HitLevel::L2: return "L2";
+      case HitLevel::L3: return "L3";
+      case HitLevel::Dram: return "DRAM";
+    }
+    return "?";
+}
+
+namespace {
+
+bool
+isPow2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+} // namespace
+
+Cache::Cache(std::string name, const CacheConfig &cfg)
+    : _name(std::move(name)), _cfg(cfg), _stamp(0)
+{
+    if (_cfg.lineBytes == 0 || !isPow2(_cfg.lineBytes))
+        fatal("cache '%s': line size must be a power of two", _name.c_str());
+    if (_cfg.assoc == 0)
+        fatal("cache '%s': associativity must be positive", _name.c_str());
+    std::uint64_t lines = _cfg.sizeBytes / _cfg.lineBytes;
+    if (lines == 0 || lines % _cfg.assoc != 0)
+        fatal("cache '%s': size/assoc/line geometry does not divide",
+              _name.c_str());
+    _numSets = static_cast<std::uint32_t>(lines / _cfg.assoc);
+    if (!isPow2(_numSets))
+        fatal("cache '%s': set count must be a power of two", _name.c_str());
+    _ways.assign(static_cast<std::size_t>(_numSets) * _cfg.assoc, Way{});
+}
+
+std::uint32_t
+Cache::setIndex(std::uint64_t addr) const
+{
+    return static_cast<std::uint32_t>((addr / _cfg.lineBytes) &
+                                      (_numSets - 1));
+}
+
+std::uint64_t
+Cache::tagOf(std::uint64_t addr) const
+{
+    return (addr / _cfg.lineBytes) / _numSets;
+}
+
+std::uint64_t
+Cache::lineAddr(std::uint64_t tag, std::uint32_t set) const
+{
+    return (tag * _numSets + set) * _cfg.lineBytes;
+}
+
+Cache::Result
+Cache::access(std::uint64_t addr, bool dirty)
+{
+    const std::uint32_t set = setIndex(addr);
+    const std::uint64_t tag = tagOf(addr);
+    Way *base = &_ways[static_cast<std::size_t>(set) * _cfg.assoc];
+
+    ++_stamp;
+
+    Way *victim = nullptr;
+    for (std::uint32_t w = 0; w < _cfg.assoc; ++w) {
+        Way &way = base[w];
+        if (way.valid && way.tag == tag) {
+            way.lru = _stamp;
+            way.dirty = way.dirty || dirty;
+            _hits.inc();
+            return Result{true, std::nullopt};
+        }
+        if (!victim || !way.valid ||
+            (victim->valid && way.lru < victim->lru)) {
+            if (!victim || victim->valid)
+                victim = &way;
+        }
+    }
+
+    _misses.inc();
+    Result res{false, std::nullopt};
+    DVFS_ASSERT(victim != nullptr, "no victim way found");
+    if (victim->valid && victim->dirty) {
+        res.writeback = lineAddr(victim->tag, set);
+        _writebacks.inc();
+    }
+    victim->valid = true;
+    victim->tag = tag;
+    victim->lru = _stamp;
+    victim->dirty = dirty;
+    return res;
+}
+
+bool
+Cache::probe(std::uint64_t addr) const
+{
+    const std::uint32_t set = setIndex(addr);
+    const std::uint64_t tag = tagOf(addr);
+    const Way *base = &_ways[static_cast<std::size_t>(set) * _cfg.assoc];
+    for (std::uint32_t w = 0; w < _cfg.assoc; ++w) {
+        if (base[w].valid && base[w].tag == tag)
+            return true;
+    }
+    return false;
+}
+
+void
+Cache::reset()
+{
+    std::fill(_ways.begin(), _ways.end(), Way{});
+    _stamp = 0;
+    _hits.reset();
+    _misses.reset();
+    _writebacks.reset();
+}
+
+CacheHierarchy::CacheHierarchy(std::uint32_t cores,
+                               const HierarchyConfig &cfg, Dram &dram,
+                               const FreqDomain &uncore)
+    : _cfg(cfg), _dram(dram), _uncore(uncore),
+      _l3("L3", cfg.l3)
+{
+    if (cores == 0)
+        fatal("cache hierarchy needs at least one core");
+    _l1d.reserve(cores);
+    _l2.reserve(cores);
+    for (std::uint32_t c = 0; c < cores; ++c) {
+        _l1d.emplace_back(strprintf("L1D.%u", c), cfg.l1d);
+        _l2.emplace_back(strprintf("L2.%u", c), cfg.l2);
+    }
+    _writePortFreeAt.assign(cores, 0);
+}
+
+Tick
+CacheHierarchy::l2HitTicks(Frequency core_freq) const
+{
+    return core_freq.cyclesToTicks(_cfg.l2.latencyCycles);
+}
+
+Tick
+CacheHierarchy::l3HitTicks() const
+{
+    return _uncore.frequency().cyclesToTicks(_cfg.l3.latencyCycles);
+}
+
+CacheHierarchy::LoadOutcome
+CacheHierarchy::load(std::uint32_t core, std::uint64_t addr, Tick issue,
+                     Frequency core_freq)
+{
+    DVFS_ASSERT(core < _l1d.size(), "core index out of range");
+
+    LoadOutcome out{};
+    Cache &l1 = _l1d[core];
+    Cache &l2 = _l2[core];
+
+    auto r1 = l1.access(addr, false);
+    if (r1.hit) {
+        // L1 hit latency is part of the core's base IPC.
+        out.level = HitLevel::L1;
+        out.completion = issue;
+        out.memLatency = 0;
+        return out;
+    }
+    // A dirty L1 victim folds into the L2 (same clock domain, cheap);
+    // install it there so its eventual eviction generates traffic.
+    if (r1.writeback) {
+        auto r = l2.access(*r1.writeback, true);
+        if (r.writeback) {
+            auto wb = _l3.access(*r.writeback, true);
+            if (wb.writeback)
+                _dram.write(*wb.writeback, issue);
+        }
+    }
+
+    Tick t = issue + l2HitTicks(core_freq);
+    auto r2 = l2.access(addr, false);
+    if (r2.hit) {
+        out.level = HitLevel::L2;
+        out.completion = t;
+        out.memLatency = t - issue;
+        return out;
+    }
+    if (r2.writeback) {
+        auto wb = _l3.access(*r2.writeback, true);
+        if (wb.writeback)
+            _dram.write(*wb.writeback, t);
+    }
+
+    t += l3HitTicks();
+    auto r3 = _l3.access(addr, false);
+    if (r3.hit) {
+        out.level = HitLevel::L3;
+        out.completion = t;
+        out.memLatency = t - issue;
+        return out;
+    }
+    if (r3.writeback)
+        _dram.write(*r3.writeback, t);
+
+    Tick done = _dram.read(addr, t);
+    out.level = HitLevel::Dram;
+    out.completion = done;
+    out.memLatency = done - issue;
+    return out;
+}
+
+Tick
+CacheHierarchy::storeLine(std::uint32_t core, std::uint64_t addr, Tick issue)
+{
+    DVFS_ASSERT(core < _l1d.size(), "core index out of range");
+
+    // Install dirty in the private levels so subsequent reads of
+    // freshly initialized memory hit.
+    auto r1 = _l1d[core].access(addr, true);
+    if (r1.writeback) {
+        auto r = _l2[core].access(*r1.writeback, true);
+        if (r.writeback)
+            _l3.access(*r.writeback, true);
+    }
+
+    auto r3 = _l3.access(addr, true);
+    if (r3.hit) {
+        // Line owned on chip: the store drains at cache speed, i.e.
+        // the SQ entry is released structurally immediately.
+        return issue;
+    }
+
+    // Store miss: the line allocates without fetching (write-combined
+    // zeroing/copying), but its SQ entries are held until the core's
+    // write port — the limited line-fill-buffer pipeline draining the
+    // miss and the displaced victim — accepts the line. The port runs
+    // at memory speed (wall clock), which is what makes sustained
+    // store bursts drain-limited and back up the SQ at every DVFS
+    // setting (Section III-D). A dirty victim additionally consumes
+    // DRAM write bandwidth (and disturbs banks that reads share).
+    if (r3.writeback)
+        _dram.write(*r3.writeback, issue);
+    Tick &port = _writePortFreeAt[core];
+    port = std::max(port, issue) + nsToTicks(_cfg.writeDrainNs);
+    return port;
+}
+
+void
+CacheHierarchy::reset()
+{
+    for (auto &c : _l1d)
+        c.reset();
+    for (auto &c : _l2)
+        c.reset();
+    _l3.reset();
+    std::fill(_writePortFreeAt.begin(), _writePortFreeAt.end(), 0);
+}
+
+} // namespace dvfs::uarch

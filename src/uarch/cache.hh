@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Set-associative cache hierarchy: private L1D/L2 per core, shared L3.
+ *
+ * The hierarchy classifies every data access issued by the core model
+ * and composes latencies from three regimes:
+ *
+ *  - L1 hits are folded into the core's base IPC (zero extra cost),
+ *  - L2 hits cost cycles in the *core* clock domain (they scale with
+ *    the DVFS frequency),
+ *  - L3 hits cost cycles in the fixed 1.5 GHz *uncore* domain
+ *    (Table II), i.e. wall-clock-constant time, and
+ *  - misses go to the DRAM model.
+ *
+ * This split matters: CRIT-style predictors only treat DRAM time as
+ * non-scaling, so the fixed-clock L3 component is a built-in source of
+ * honest prediction error, as on real hardware.
+ *
+ * The model tracks tags and dirtiness only (no data), with true LRU
+ * replacement. There is no coherence protocol: the workloads
+ * communicate through synchronization costs modelled separately (see
+ * CoreModel::atomicRmw), and no data values flow through the caches.
+ */
+
+#ifndef DVFS_UARCH_CACHE_HH
+#define DVFS_UARCH_CACHE_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/stats.hh"
+#include "sim/time.hh"
+#include "uarch/dram.hh"
+#include "uarch/freq_domain.hh"
+
+namespace dvfs::uarch {
+
+/** Where in the hierarchy an access was satisfied. */
+enum class HitLevel {
+    L1,    ///< private L1 data cache
+    L2,    ///< private unified L2
+    L3,    ///< shared last-level cache (uncore clock)
+    Dram,  ///< memory
+};
+
+/** Printable name of a hit level. */
+const char *hitLevelName(HitLevel level);
+
+/** Geometry and timing of one cache level. */
+struct CacheConfig {
+    std::uint32_t sizeBytes = 32 * 1024;
+    std::uint32_t assoc = 4;
+    std::uint32_t lineBytes = 64;
+    std::uint32_t latencyCycles = 2;  ///< access latency, in its domain
+};
+
+/**
+ * One physical cache: a tag array with true-LRU replacement.
+ */
+class Cache
+{
+  public:
+    /** Result of a lookup-with-allocate. */
+    struct Result {
+        bool hit = false;
+        /** Address of an evicted dirty line, if any. */
+        std::optional<std::uint64_t> writeback;
+    };
+
+    Cache(std::string name, const CacheConfig &cfg);
+
+    /**
+     * Probe for @p addr; on miss, allocate the line (evicting LRU).
+     *
+     * @param addr  Byte address.
+     * @param dirty Mark the (new or existing) line dirty.
+     */
+    Result access(std::uint64_t addr, bool dirty);
+
+    /** Probe without modifying any state. */
+    bool probe(std::uint64_t addr) const;
+
+    /** Drop all lines (between runs). */
+    void reset();
+
+    const CacheConfig &config() const { return _cfg; }
+    const std::string &name() const { return _name; }
+
+    std::uint64_t hits() const { return _hits.value(); }
+    std::uint64_t misses() const { return _misses.value(); }
+    std::uint64_t writebacks() const { return _writebacks.value(); }
+
+  private:
+    struct Way {
+        std::uint64_t tag = 0;
+        std::uint64_t lru = 0;  ///< last-touch stamp; larger = newer
+        bool valid = false;
+        bool dirty = false;
+    };
+
+    std::uint32_t setIndex(std::uint64_t addr) const;
+    std::uint64_t tagOf(std::uint64_t addr) const;
+    std::uint64_t lineAddr(std::uint64_t tag, std::uint32_t set) const;
+
+    std::string _name;
+    CacheConfig _cfg;
+    std::uint32_t _numSets;
+    std::vector<Way> _ways;  ///< _numSets * assoc, set-major
+    std::uint64_t _stamp;
+
+    sim::Counter _hits, _misses, _writebacks;
+};
+
+/** Configuration of the full hierarchy. */
+struct HierarchyConfig {
+    CacheConfig l1d{32 * 1024, 4, 64, 2};
+    CacheConfig l2{256 * 1024, 8, 64, 11};
+    CacheConfig l3{4 * 1024 * 1024, 16, 64, 40};
+
+    /**
+     * Per-core sustained service time for draining one store-missed
+     * line (miss handling through the core's limited line-fill
+     * buffers). Wall-clock: the drain path is paced by the memory
+     * side, not the core clock — the physical origin of the paper's
+     * non-scaling store bursts.
+     */
+    double writeDrainNs = 11.0;
+};
+
+/**
+ * The multi-level hierarchy shared by all cores.
+ *
+ * Owns per-core L1D and L2 instances plus the shared L3, and routes
+ * misses and dirty writebacks to the DRAM model.
+ */
+class CacheHierarchy
+{
+  public:
+    /** Outcome of a load walked through the hierarchy. */
+    struct LoadOutcome {
+        HitLevel level;    ///< where the load was satisfied
+        Tick completion;   ///< tick the data reaches the core
+        Tick memLatency;   ///< completion - issue
+    };
+
+    /**
+     * @param cores  Number of cores (private cache instances).
+     * @param cfg    Geometry/timing for the three levels.
+     * @param dram   Backing memory model.
+     * @param uncore Fixed-frequency domain clocking the L3.
+     */
+    CacheHierarchy(std::uint32_t cores, const HierarchyConfig &cfg,
+                   Dram &dram, const FreqDomain &uncore);
+
+    /**
+     * Walk a load through the hierarchy.
+     *
+     * @param core      Issuing core.
+     * @param addr      Byte address.
+     * @param issue     Tick the access leaves the core.
+     * @param core_freq Core frequency (for the scaling L2 latency).
+     */
+    LoadOutcome load(std::uint32_t core, std::uint64_t addr, Tick issue,
+                     Frequency core_freq);
+
+    /**
+     * Perform a line-filling store from a store burst.
+     *
+     * If the line is on chip it drains at cache speed. On a miss the
+     * line is handled by the core's write port (a line-fill-buffer
+     * pipeline with fixed wall-clock service), and a dirty L3 victim
+     * consumes DRAM write bandwidth — so sustained bursts drain at
+     * memory speed at every DVFS setting, the mechanism behind the
+     * paper's store-queue backpressure (Section III-D).
+     *
+     * @return Tick at which the store structurally completes and its
+     *         SQ entries can be released.
+     */
+    Tick storeLine(std::uint32_t core, std::uint64_t addr, Tick issue);
+
+    /** Reset all cache state (between runs). */
+    void reset();
+
+    /** L2-hit latency in ticks at the given core frequency. */
+    Tick l2HitTicks(Frequency core_freq) const;
+
+    /** L3-hit latency in ticks (fixed uncore clock). */
+    Tick l3HitTicks() const;
+
+    const HierarchyConfig &config() const { return _cfg; }
+    Cache &l1d(std::uint32_t core) { return _l1d[core]; }
+    Cache &l2(std::uint32_t core) { return _l2[core]; }
+    Cache &l3() { return _l3; }
+    Dram &dram() { return _dram; }
+
+  private:
+    HierarchyConfig _cfg;
+    Dram &_dram;
+    const FreqDomain &_uncore;
+    std::vector<Cache> _l1d;
+    std::vector<Cache> _l2;
+    Cache _l3;
+    /** Per-core write-port horizon (line-fill buffer pipeline). */
+    std::vector<Tick> _writePortFreeAt;
+};
+
+} // namespace dvfs::uarch
+
+#endif // DVFS_UARCH_CACHE_HH

@@ -1,0 +1,57 @@
+#include "uarch/freq_domain.hh"
+
+#include <algorithm>
+
+#include "sim/log.hh"
+
+namespace dvfs::uarch {
+
+FreqDomain::FreqDomain(std::string name, Frequency initial)
+    : _name(std::move(name)), _transitions(0)
+{
+    if (!initial.valid())
+        fatal("frequency domain '%s' needs a valid initial frequency",
+              _name.c_str());
+    _history.push_back(Setting{0, initial});
+}
+
+bool
+FreqDomain::setFrequency(Frequency f, Tick now)
+{
+    if (!f.valid())
+        fatal("cannot set domain '%s' to an invalid frequency",
+              _name.c_str());
+    if (now < _history.back().since)
+        panic("DVFS transition out of order in domain '%s'", _name.c_str());
+
+    bool changed = f != _history.back().freq;
+    if (now == _history.back().since) {
+        _history.back().freq = f;
+    } else {
+        _history.push_back(Setting{now, f});
+    }
+    if (changed)
+        ++_transitions;
+    return changed;
+}
+
+double
+FreqDomain::averageGHz(Tick from, Tick to) const
+{
+    if (to <= from)
+        return frequency().toGHz();
+
+    double weighted = 0.0;
+    for (std::size_t i = 0; i < _history.size(); ++i) {
+        Tick seg_start = std::max(_history[i].since, from);
+        Tick seg_end = (i + 1 < _history.size()) ? _history[i + 1].since : to;
+        seg_end = std::min(seg_end, to);
+        if (seg_end > seg_start) {
+            weighted += _history[i].freq.toGHz() *
+                        static_cast<double>(seg_end - seg_start);
+        }
+    }
+    return weighted / static_cast<double>(to - from);
+}
+
+} // namespace dvfs::uarch

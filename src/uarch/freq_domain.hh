@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Clock/frequency domains with DVFS transition history.
+ *
+ * The modelled chip has two domains, as in the paper's Haswell-like
+ * configuration (Table II): a core domain whose frequency is scaled
+ * chip-wide between 1.0 and 4.0 GHz, and a fixed 1.5 GHz uncore domain
+ * clocking the shared L3. DRAM timing is specified in wall-clock
+ * nanoseconds and needs no domain.
+ */
+
+#ifndef DVFS_UARCH_FREQ_DOMAIN_HH
+#define DVFS_UARCH_FREQ_DOMAIN_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/time.hh"
+
+namespace dvfs::uarch {
+
+/**
+ * A frequency domain: a clock shared by one or more components, with a
+ * record of every DVFS transition for later energy integration.
+ */
+class FreqDomain
+{
+  public:
+    /** One DVFS setting that was in effect starting at a given tick. */
+    struct Setting {
+        Tick since;       ///< tick at which this frequency took effect
+        Frequency freq;   ///< the frequency
+    };
+
+    /**
+     * @param name Human-readable domain name ("core", "uncore").
+     * @param initial Frequency in effect from tick 0.
+     */
+    FreqDomain(std::string name, Frequency initial);
+
+    /** Domain name. */
+    const std::string &name() const { return _name; }
+
+    /** Frequency currently in effect. */
+    Frequency frequency() const { return _history.back().freq; }
+
+    /**
+     * Change the domain frequency at time @p now.
+     *
+     * Transitions at the same tick overwrite each other (last wins);
+     * a transition to the current frequency is recorded anyway so the
+     * caller can count attempted switches.
+     *
+     * @return true if the frequency actually changed.
+     */
+    bool setFrequency(Frequency f, Tick now);
+
+    /** Complete transition history, oldest first. */
+    const std::vector<Setting> &history() const { return _history; }
+
+    /** Number of actual frequency changes (excluding same-value sets). */
+    std::uint64_t transitions() const { return _transitions; }
+
+    /** Convert cycles in this domain to ticks at the current setting. */
+    Tick
+    cyclesToTicks(double cycles) const
+    {
+        return frequency().cyclesToTicks(cycles);
+    }
+
+    /**
+     * Integrate frequency over [from, to): returns average frequency
+     * weighted by residency, useful for reports.
+     */
+    double averageGHz(Tick from, Tick to) const;
+
+  private:
+    std::string _name;
+    std::vector<Setting> _history;
+    std::uint64_t _transitions;
+};
+
+} // namespace dvfs::uarch
+
+#endif // DVFS_UARCH_FREQ_DOMAIN_HH

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Microarchitectural work-item descriptors.
+ *
+ * Thread programs (workloads, the garbage collector, runtime services)
+ * describe what a thread does as a sequence of work items; the core
+ * model turns each item into elapsed time and hardware-counter
+ * updates. Items carry *logical* work (instruction counts, addresses)
+ * only — never durations — so the identical item stream can be
+ * executed at any DVFS setting.
+ */
+
+#ifndef DVFS_UARCH_WORK_HH
+#define DVFS_UARCH_WORK_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace dvfs::uarch {
+
+/**
+ * Straight-line computation with good cache behaviour.
+ *
+ * @c l2Loads and @c l3Loads charge hit latencies in the private
+ * (core-clock) and shared (uncore-clock) levels analytically; they
+ * model the medium-locality accesses that are too frequent to walk
+ * through the tag arrays one by one but too slow to fold into IPC.
+ */
+struct ComputeSpec {
+    std::uint64_t instructions = 0;
+    std::uint32_t l2Loads = 0;   ///< loads hitting the private L2
+    std::uint32_t l3Loads = 0;   ///< loads hitting the shared L3
+    double ipcScale = 1.0;       ///< per-phase IPC multiplier (JIT plan)
+};
+
+/**
+ * A cluster of potentially long-latency loads.
+ *
+ * The cluster consists of one or more dependence chains; loads within
+ * a chain are address-dependent (each issues when its predecessor's
+ * data returns), chains are mutually independent and overlap (MLP).
+ * @c overlapInstructions is the independent work the out-of-order
+ * window can retire underneath the cluster.
+ */
+struct MissClusterSpec {
+    std::vector<std::vector<std::uint64_t>> chains;
+    std::uint64_t overlapInstructions = 0;
+};
+
+/**
+ * A burst of stores to consecutive cache lines (zero-initialisation of
+ * freshly allocated memory, or GC copying).
+ *
+ * The default of two stores per line models the 32-byte vector stores
+ * runtimes use for bulk zeroing and copying; scalar code would use
+ * eight. The choice sets the dispatch-side cost of a burst — with wide
+ * stores, bursts are drain-limited at every DVFS setting, which is
+ * what makes their duration (mostly) non-scaling.
+ */
+struct StoreBurstSpec {
+    std::uint64_t baseAddr = 0;
+    std::uint32_t lines = 0;
+    std::uint32_t storesPerLine = 2;  ///< 32-byte stores filling a line
+};
+
+} // namespace dvfs::uarch
+
+#endif // DVFS_UARCH_WORK_HH

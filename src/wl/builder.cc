@@ -1,0 +1,53 @@
+#include "wl/builder.hh"
+
+#include "sim/log.hh"
+
+namespace dvfs::wl {
+
+os::SystemConfig
+defaultSystemConfig(Frequency core_freq)
+{
+    os::SystemConfig cfg;
+    cfg.cores = 4;
+    cfg.coreFreq = core_freq;
+    cfg.uncoreFreq = Frequency::mhz(1500);
+    return cfg;
+}
+
+BenchInstance
+buildBenchmark(const WorkloadParams &params, const os::SystemConfig &sys_cfg)
+{
+    if (params.appThreads == 0)
+        fatal("benchmark '%s' needs at least one worker",
+              params.name.c_str());
+
+    BenchInstance inst;
+    inst.sys = std::make_unique<os::System>(sys_cfg);
+    os::System &sys = *inst.sys;
+
+    inst.shared = std::make_unique<SharedWorkload>();
+    SharedWorkload &sh = *inst.shared;
+    sh.params = params;
+
+    for (std::uint32_t i = 0; i < params.numLocks; ++i)
+        sh.locks.push_back(sys.createMutex());
+    if (params.barrierEvery > 0)
+        sh.barrier = sys.createBarrier(params.appThreads);
+
+    for (std::uint32_t w = 0; w < params.appThreads; ++w) {
+        auto prog = std::make_unique<WorkerProgram>(sh, w);
+        sh.workers.push_back(sys.addThread(
+            strprintf("%s-worker-%u", params.name.c_str(), w),
+            std::move(prog)));
+    }
+    inst.mainTid = sys.addThread(params.name + "-main",
+                                 std::make_unique<MainProgram>(sh));
+    sys.setMainThread(inst.mainTid);
+
+    inst.runtime = std::make_unique<rt::Runtime>(sys, params.runtime);
+    inst.runtime->attach();
+
+    return inst;
+}
+
+} // namespace dvfs::wl

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Benchmark instantiation: turn a WorkloadParams into a ready-to-run
+ * machine with application threads, the managed runtime, and GC
+ * workers.
+ */
+
+#ifndef DVFS_WL_BUILDER_HH
+#define DVFS_WL_BUILDER_HH
+
+#include <memory>
+
+#include "os/system.hh"
+#include "rt/runtime.hh"
+#include "wl/programs.hh"
+
+namespace dvfs::wl {
+
+/**
+ * A fully wired benchmark instance. The instance owns the machine,
+ * the runtime, and the shared workload context; it must outlive the
+ * run.
+ */
+struct BenchInstance {
+    std::unique_ptr<os::System> sys;
+    std::unique_ptr<rt::Runtime> runtime;
+    std::unique_ptr<SharedWorkload> shared;
+    os::ThreadId mainTid = os::kNoThread;
+};
+
+/**
+ * Build a benchmark on a fresh machine.
+ *
+ * @param params Workload description.
+ * @param sys_cfg Machine configuration; the core frequency in it is
+ *                the run's (initial) frequency.
+ */
+BenchInstance buildBenchmark(const WorkloadParams &params,
+                             const os::SystemConfig &sys_cfg);
+
+/** Default machine configuration (Table II) at the given frequency. */
+os::SystemConfig defaultSystemConfig(Frequency core_freq);
+
+} // namespace dvfs::wl
+
+#endif // DVFS_WL_BUILDER_HH

@@ -1,0 +1,171 @@
+#include "wl/programs.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/log.hh"
+
+namespace dvfs::wl {
+
+WorkerProgram::WorkerProgram(const SharedWorkload &shared,
+                             std::uint32_t index)
+    : _sh(shared), _index(index)
+{
+    _items = _sh.params.workItems;
+    // Worker 0 models pmd's oversized input file: same item count
+    // (keeping barrier arrivals matched) but heavier items.
+    _workScale = (index == 0) ? _sh.params.stragglerFactor : 1.0;
+}
+
+uarch::MissClusterSpec
+WorkerProgram::makeCluster(os::ThreadContext &ctx) const
+{
+    const WorkloadParams &p = _sh.params;
+    uarch::MissClusterSpec spec;
+    spec.overlapInstructions = p.clusterOverlapInstr;
+
+    for (std::uint32_t c = 0; c < p.chains; ++c) {
+        // A chain stays within one region: a pointer chase does not
+        // hop between data structures of different temperature.
+        double roll = ctx.rng.nextDouble();
+        std::uint64_t base, span;
+        if (roll < p.pHot) {
+            base = kHotBase + ctx.tid * kHotStride;
+            span = p.hotBytes;
+        } else if (roll < p.pHot + p.pWarm) {
+            base = kWarmBase;
+            span = p.warmBytes;
+        } else {
+            base = kColdBase;
+            span = p.coldBytes;
+        }
+        std::vector<std::uint64_t> chain;
+        chain.reserve(p.chainDepth);
+        for (std::uint32_t d = 0; d < p.chainDepth; ++d)
+            chain.push_back(base + (ctx.rng.nextBounded(span) & ~63ULL));
+        spec.chains.push_back(std::move(chain));
+    }
+    return spec;
+}
+
+os::Action
+WorkerProgram::next(os::ThreadContext &ctx)
+{
+    const WorkloadParams &p = _sh.params;
+
+    switch (_state) {
+      case State::ItemStart: {
+        if (_item >= _items) {
+            _state = State::Done;
+            return os::Action::makeExit();
+        }
+        // Barrier phases: all workers synchronize every barrierEvery
+        // items (same arrival count for everyone, straggler included).
+        if (p.barrierEvery > 0 && _sh.barrier != os::kNoSync &&
+            _item > 0 && _item % p.barrierEvery == 0 && !_barrierTaken) {
+            _barrierTaken = true;
+            return os::Action::makeBarrierWait(_sh.barrier);
+        }
+        _barrierTaken = false;
+
+        _clustersLeft = p.clustersPerItem;
+        _state = _clustersLeft > 0 ? State::Clusters : State::LockEnter;
+        auto instr = static_cast<std::uint64_t>(
+            std::llround(p.computeInstr * 0.5 * _workScale));
+        return os::Action::makeCompute(instr, p.l2LoadsPerItem,
+                                       p.l3LoadsPerItem);
+      }
+
+      case State::Clusters: {
+        if (_clustersLeft == 0) {
+            _state = State::LockEnter;
+            return next(ctx);
+        }
+        --_clustersLeft;
+        return os::Action::makeCluster(makeCluster(ctx));
+      }
+
+      case State::LockEnter: {
+        if (p.lockProb > 0.0 && p.numLocks > 0 &&
+            ctx.rng.nextBool(p.lockProb)) {
+            _lockId = static_cast<std::uint32_t>(
+                ctx.rng.nextBounded(p.numLocks));
+            _state = State::LockHold;
+            return os::Action::makeMutexLock(_sh.locks[_lockId]);
+        }
+        _state = State::Alloc;
+        return next(ctx);
+    }
+
+      case State::LockHold:
+        _state = State::LockExit;
+        return os::Action::makeCompute(static_cast<std::uint64_t>(
+            std::llround(p.lockHoldInstr * _workScale)));
+
+      case State::LockExit:
+        _state = State::Alloc;
+        return os::Action::makeMutexUnlock(_sh.locks[_lockId]);
+
+      case State::Alloc: {
+        if (_allocLeft == 0)
+            _allocLeft = static_cast<std::uint64_t>(
+                std::llround(p.allocBytesPerItem * _workScale));
+        if (_allocLeft == 0 || p.allocChunkBytes == 0) {
+            _allocLeft = 0;
+            _state = State::ItemEnd;
+            return next(ctx);
+        }
+        std::uint64_t chunk =
+            std::min<std::uint64_t>(_allocLeft, p.allocChunkBytes);
+        _allocLeft -= chunk;
+        if (_allocLeft == 0)
+            _state = State::ItemEnd;
+        return os::Action::makeAlloc(chunk);
+      }
+
+      case State::ItemEnd: {
+        ++_item;
+        _state = State::ItemStart;
+        auto instr = static_cast<std::uint64_t>(
+            std::llround(p.computeInstr * 0.5 * _workScale));
+        return os::Action::makeCompute(instr, p.l2LoadsPerItem, 0);
+      }
+
+      case State::Done:
+        return os::Action::makeExit();
+    }
+    panic("unreachable worker state");
+}
+
+MainProgram::MainProgram(const SharedWorkload &shared)
+    : _sh(shared)
+{
+}
+
+os::Action
+MainProgram::next(os::ThreadContext &ctx)
+{
+    (void)ctx;
+    const WorkloadParams &p = _sh.params;
+    switch (_state) {
+      case State::Setup:
+        _state = State::Join;
+        return os::Action::makeCompute(p.serialSetupInstr, 8, 2);
+
+      case State::Join:
+        if (_joinIndex < _sh.workers.size())
+            return os::Action::makeJoin(_sh.workers[_joinIndex++]);
+        _state = State::Teardown;
+        return os::Action::makeCompute(p.serialTeardownInstr, 8, 2);
+
+      case State::Teardown:
+        _state = State::Done;
+        return os::Action::makeExit();
+
+      case State::Done:
+        return os::Action::makeExit();
+    }
+    panic("unreachable main state");
+}
+
+} // namespace dvfs::wl

@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Unit tests for the cache and cache-hierarchy models.
+ */
+
+#include <gtest/gtest.h>
+
+#include "uarch/cache.hh"
+
+using namespace dvfs;
+using namespace dvfs::uarch;
+
+namespace {
+
+CacheConfig
+tinyCache()
+{
+    // 4 sets x 2 ways x 64 B lines = 512 B.
+    return CacheConfig{512, 2, 64, 2};
+}
+
+} // namespace
+
+TEST(Cache, MissThenHit)
+{
+    Cache c("t", tinyCache());
+    EXPECT_FALSE(c.access(0x1000, false).hit);
+    EXPECT_TRUE(c.access(0x1000, false).hit);
+    EXPECT_TRUE(c.probe(0x1000));
+    EXPECT_FALSE(c.probe(0x2000));
+    EXPECT_EQ(c.hits(), 1u);
+    EXPECT_EQ(c.misses(), 1u);
+}
+
+TEST(Cache, SameLineDifferentByteOffsets)
+{
+    Cache c("t", tinyCache());
+    c.access(0x1000, false);
+    EXPECT_TRUE(c.access(0x1037, false).hit);  // same 64B line
+    EXPECT_FALSE(c.access(0x1040, false).hit); // next line
+}
+
+TEST(Cache, LruEvictsOldest)
+{
+    Cache c("t", tinyCache());
+    // Three lines mapping to the same set (set stride = 4 lines).
+    std::uint64_t a = 0, b = 4 * 64, d = 8 * 64;
+    c.access(a, false);
+    c.access(b, false);
+    c.access(a, false);        // refresh a; b is now LRU
+    auto r = c.access(d, false);
+    EXPECT_FALSE(r.hit);
+    EXPECT_TRUE(c.probe(a));
+    EXPECT_FALSE(c.probe(b));  // evicted
+    EXPECT_TRUE(c.probe(d));
+}
+
+TEST(Cache, DirtyEvictionReportsWriteback)
+{
+    Cache c("t", tinyCache());
+    std::uint64_t a = 0, b = 4 * 64, d = 8 * 64;
+    c.access(a, true);   // dirty
+    c.access(b, false);
+    auto r = c.access(d, false);  // evicts a (LRU)
+    ASSERT_TRUE(r.writeback.has_value());
+    EXPECT_EQ(*r.writeback, a);
+    EXPECT_EQ(c.writebacks(), 1u);
+}
+
+TEST(Cache, CleanEvictionHasNoWriteback)
+{
+    Cache c("t", tinyCache());
+    std::uint64_t a = 0, b = 4 * 64, d = 8 * 64;
+    c.access(a, false);
+    c.access(b, false);
+    auto r = c.access(d, false);
+    EXPECT_FALSE(r.writeback.has_value());
+}
+
+TEST(Cache, DirtyBitSticksAcrossHits)
+{
+    Cache c("t", tinyCache());
+    std::uint64_t a = 0, b = 4 * 64, d = 8 * 64;
+    c.access(a, true);
+    c.access(a, false);  // read hit must not clear dirty
+    c.access(b, false);
+    c.access(a, false);  // refresh a; b LRU
+    auto r = c.access(d, false);
+    EXPECT_FALSE(r.writeback.has_value());  // b was clean
+    auto r2 = c.access(b, false);           // evicts a or d
+    // a is dirty; if a is the victim we must see its writeback.
+    if (r2.writeback) {
+        EXPECT_EQ(*r2.writeback, a);
+    }
+}
+
+TEST(Cache, ResetDropsContents)
+{
+    Cache c("t", tinyCache());
+    c.access(0x40, true);
+    c.reset();
+    EXPECT_FALSE(c.probe(0x40));
+    EXPECT_EQ(c.hits(), 0u);
+}
+
+TEST(CacheDeathTest, RejectsBadGeometry)
+{
+    EXPECT_EXIT(Cache("x", CacheConfig{512, 3, 64, 1}),
+                ::testing::ExitedWithCode(1), "");
+    EXPECT_EXIT(Cache("x", CacheConfig{512, 2, 48, 1}),
+                ::testing::ExitedWithCode(1), "");
+    EXPECT_EXIT(Cache("x", CacheConfig{512, 0, 64, 1}),
+                ::testing::ExitedWithCode(1), "");
+}
+
+// ------------------------------------------------------------------
+// Hierarchy
+
+class HierarchyTest : public ::testing::Test
+{
+  protected:
+    HierarchyTest()
+        : uncore("uncore", Frequency::mhz(1500)),
+          mem(2, HierarchyConfig{}, dram, uncore)
+    {
+    }
+
+    Dram dram;
+    FreqDomain uncore;
+    CacheHierarchy mem;
+    Frequency f1 = Frequency::ghz(1.0);
+    Frequency f4 = Frequency::ghz(4.0);
+};
+
+TEST_F(HierarchyTest, ColdLoadGoesToDram)
+{
+    auto out = mem.load(0, 0x10000, 0, f1);
+    EXPECT_EQ(out.level, HitLevel::Dram);
+    EXPECT_GT(out.memLatency, mem.l3HitTicks());
+}
+
+TEST_F(HierarchyTest, SecondLoadHitsL1)
+{
+    mem.load(0, 0x10000, 0, f1);
+    auto out = mem.load(0, 0x10000, 1000, f1);
+    EXPECT_EQ(out.level, HitLevel::L1);
+    EXPECT_EQ(out.memLatency, 0u);
+    EXPECT_EQ(out.completion, 1000u);
+}
+
+TEST_F(HierarchyTest, OtherCoreHitsSharedL3)
+{
+    mem.load(0, 0x10000, 0, f1);
+    auto out = mem.load(1, 0x10000, 1000, f1);
+    EXPECT_EQ(out.level, HitLevel::L3);
+    EXPECT_EQ(out.memLatency,
+              mem.l2HitTicks(f1) + mem.l3HitTicks());
+}
+
+TEST_F(HierarchyTest, L2HitLatencyScalesWithCoreClock)
+{
+    EXPECT_EQ(mem.l2HitTicks(f1), 4 * mem.l2HitTicks(f4));
+}
+
+TEST_F(HierarchyTest, L3HitLatencyIsFrequencyInvariant)
+{
+    Tick l3 = mem.l3HitTicks();
+    // 40 uncore cycles at 1.5 GHz = 26.67 ns, independent of core f.
+    EXPECT_NEAR(ticksToNs(l3), 40.0 / 1.5, 0.01);
+}
+
+TEST_F(HierarchyTest, L1EvictionFallsToL2)
+{
+    // Fill one L1 set (4 ways; set stride = 128 lines for 32KB/4-way).
+    const std::uint64_t stride = 128 * 64;
+    for (int i = 0; i < 5; ++i)
+        mem.load(0, 0x100000 + static_cast<std::uint64_t>(i) * stride, 0,
+                 f1);
+    // The first line left L1 but must still be in L2.
+    auto out = mem.load(0, 0x100000, 50000, f1);
+    EXPECT_EQ(out.level, HitLevel::L2);
+}
+
+TEST_F(HierarchyTest, StoreLineOnChipDrainsInstantly)
+{
+    mem.load(0, 0x20000, 0, f1);  // bring the line on chip
+    Tick done = mem.storeLine(0, 0x20000, 1000);
+    EXPECT_EQ(done, 1000u);
+}
+
+TEST_F(HierarchyTest, StoreMissesDrainAtWritePortRate)
+{
+    // Cold lines: each drain advances the per-core write port.
+    Tick d1 = mem.storeLine(0, 0x1000000, 0);
+    Tick d2 = mem.storeLine(0, 0x1000040, 0);
+    Tick service = nsToTicks(mem.config().writeDrainNs);
+    EXPECT_EQ(d1, service);
+    EXPECT_EQ(d2, 2 * service);
+}
+
+TEST_F(HierarchyTest, WritePortsArePerCore)
+{
+    Tick a = mem.storeLine(0, 0x2000000, 0);
+    Tick b = mem.storeLine(1, 0x3000000, 0);
+    EXPECT_EQ(a, b);  // independent ports: no cross-core stacking
+}
+
+TEST_F(HierarchyTest, ResetRestoresColdState)
+{
+    mem.load(0, 0x10000, 0, f1);
+    mem.reset();
+    auto out = mem.load(0, 0x10000, 0, f1);
+    EXPECT_EQ(out.level, HitLevel::Dram);
+}
+
+TEST(HitLevelNames, AreStable)
+{
+    EXPECT_STREQ(hitLevelName(HitLevel::L1), "L1");
+    EXPECT_STREQ(hitLevelName(HitLevel::L2), "L2");
+    EXPECT_STREQ(hitLevelName(HitLevel::L3), "L3");
+    EXPECT_STREQ(hitLevelName(HitLevel::Dram), "DRAM");
+}

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Unit tests for the banked DRAM model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/rng.hh"
+#include "uarch/dram.hh"
+
+using namespace dvfs;
+using dvfs::uarch::Dram;
+using dvfs::uarch::DramConfig;
+
+namespace {
+
+DramConfig
+smallConfig()
+{
+    DramConfig cfg;
+    cfg.channels = 2;
+    cfg.banksPerChannel = 4;
+    return cfg;
+}
+
+} // namespace
+
+TEST(Dram, UnloadedLatencyMatchesTiming)
+{
+    Dram d(smallConfig());
+    const auto &c = d.config();
+    Tick expect = nsToTicks(c.tCtrlNs + c.tRcdNs + c.tCasNs + c.tBurstNs);
+    EXPECT_EQ(d.unloadedReadLatency(), expect);
+
+    // A cold single read takes exactly the unloaded latency.
+    Tick done = d.read(0x1000, 1000);
+    EXPECT_EQ(done - 1000, expect);
+}
+
+TEST(Dram, RowHitIsFasterThanRowMiss)
+{
+    Dram d(smallConfig());
+    std::uint64_t addr = 64 * 1024;
+    Tick t1 = d.read(addr, 0);
+    // Same line again, much later (no queueing): row is open.
+    Tick lat_hit = d.read(addr, t1 + 100000) - (t1 + 100000);
+    // A different row in the same bank: conflict (precharge).
+    std::uint64_t far = addr + 4ULL * 1024 * 1024;
+    Tick base = t1 + 300000;
+    Tick lat_conflict = d.read(far, base) - base;
+    EXPECT_LT(lat_hit, lat_conflict);
+    EXPECT_EQ(d.rowHits(), 1u);
+}
+
+TEST(Dram, SameBankAccessesSerialize)
+{
+    Dram d(smallConfig());
+    // Two simultaneous reads to the same bank but different rows.
+    std::uint64_t a = 0;
+    std::uint64_t b = 8ULL * 1024 * 1024;  // same channel/bank, other row
+    Tick done_a = d.read(a, 0);
+    Tick done_b = d.read(b, 0);
+    EXPECT_GT(done_b, done_a);  // the second waits for the bank
+
+    // Reads to different channels at the same instant do not stack.
+    Dram d2(smallConfig());
+    Tick da = d2.read(0, 0);       // channel 0
+    Tick db = d2.read(64, 0);      // channel 1
+    EXPECT_EQ(da, db);
+}
+
+TEST(Dram, WritesDoNotBlockReadsOnOtherResources)
+{
+    // A write stream pinned to channel 0 / bank 0 must not delay a
+    // read on channel 1 (read-priority controller, separate buses).
+    Dram d(smallConfig());
+    for (int i = 0; i < 16; ++i)
+        d.write(static_cast<std::uint64_t>(i) * 512, 0);  // ch0, bank0
+    Tick lat = d.read(64, 0);  // channel 1, untouched
+    EXPECT_LE(lat, d.unloadedReadLatency());
+}
+
+TEST(Dram, SustainedWritesAreThroughputLimited)
+{
+    Dram d(smallConfig());
+    Tick last = 0;
+    const int n = 256;
+    for (int i = 0; i < n; ++i)
+        last = d.write(static_cast<std::uint64_t>(i) * 64, 0);
+    // Completion of the burst implies a finite per-line service.
+    double per_line_ns = ticksToNs(last) / n;
+    EXPECT_GT(per_line_ns, 1.0);
+    EXPECT_LT(per_line_ns, 50.0);
+}
+
+TEST(Dram, CountsReadsAndWrites)
+{
+    Dram d(smallConfig());
+    d.read(0, 0);
+    d.read(64, 0);
+    d.write(128, 0);
+    EXPECT_EQ(d.reads(), 2u);
+    EXPECT_EQ(d.writes(), 1u);
+    EXPECT_GT(d.meanReadLatencyNs(), 0.0);
+    EXPECT_GT(d.meanWriteLatencyNs(), 0.0);
+}
+
+TEST(Dram, ResetClearsState)
+{
+    Dram d(smallConfig());
+    for (int i = 0; i < 100; ++i)
+        d.read(static_cast<std::uint64_t>(i) * 4096, 0);
+    d.reset();
+    EXPECT_EQ(d.reads(), 0u);
+    EXPECT_EQ(d.rowHits() + d.rowMisses(), 0u);
+    // After reset a cold read is unloaded again.
+    EXPECT_EQ(d.read(0, 0), d.unloadedReadLatency());
+}
+
+TEST(Dram, CompletionIsMonotonicPerBank)
+{
+    Dram d(smallConfig());
+    std::uint64_t addr = 0;
+    Tick prev = 0;
+    for (int i = 0; i < 50; ++i) {
+        Tick done = d.read(addr + static_cast<std::uint64_t>(i) *
+                                      8ULL * 1024 * 1024,
+                           10 * static_cast<Tick>(i));
+        EXPECT_GE(done, prev);
+        prev = done;
+    }
+}
+
+TEST(Dram, DeterministicAcrossInstances)
+{
+    Dram d1(smallConfig()), d2(smallConfig());
+    for (int i = 0; i < 500; ++i) {
+        std::uint64_t addr = (static_cast<std::uint64_t>(i) * 7919) %
+                             (1ULL << 24);
+        Tick issue = static_cast<Tick>(i) * 3000;
+        ASSERT_EQ(d1.read(addr, issue), d2.read(addr, issue));
+    }
+}
+
+TEST(DramDeathTest, RejectsBadGeometry)
+{
+    DramConfig cfg;
+    cfg.channels = 0;
+    EXPECT_EXIT(Dram d(cfg), ::testing::ExitedWithCode(1), "channel");
+
+    DramConfig cfg2;
+    cfg2.rowBytes = 100;  // not a multiple of line size
+    EXPECT_EXIT(Dram d(cfg2), ::testing::ExitedWithCode(1), "row");
+}
+
+/** Property: a read's latency never beats the unloaded latency. */
+class DramLatencyFloor : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(DramLatencyFloor, NeverBelowUnloaded)
+{
+    Dram d;
+    dvfs::sim::Rng rng(GetParam());
+    Tick t = 0;
+    for (int i = 0; i < 300; ++i) {
+        std::uint64_t addr = rng.nextBounded(1ULL << 28) & ~63ULL;
+        t += rng.nextBounded(100);
+        Tick done = d.read(addr, t);
+        // tCAS + burst is the absolute floor (open row, no queue).
+        Tick floor_lat = nsToTicks(d.config().tCtrlNs +
+                                   d.config().tCasNs +
+                                   d.config().tBurstNs);
+        EXPECT_GE(done - t, floor_lat);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DramLatencyFloor,
+                         ::testing::Values(1, 7, 42, 1001));

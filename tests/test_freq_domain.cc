@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Unit tests for DVFS frequency domains.
+ */
+
+#include <gtest/gtest.h>
+
+#include "uarch/freq_domain.hh"
+
+using namespace dvfs;
+using dvfs::uarch::FreqDomain;
+
+TEST(FreqDomain, InitialState)
+{
+    FreqDomain d("core", Frequency::ghz(1.0));
+    EXPECT_EQ(d.name(), "core");
+    EXPECT_EQ(d.frequency(), Frequency::ghz(1.0));
+    EXPECT_EQ(d.transitions(), 0u);
+    ASSERT_EQ(d.history().size(), 1u);
+    EXPECT_EQ(d.history()[0].since, 0u);
+}
+
+TEST(FreqDomain, TransitionsRecorded)
+{
+    FreqDomain d("core", Frequency::ghz(1.0));
+    EXPECT_TRUE(d.setFrequency(Frequency::ghz(2.0), 100));
+    EXPECT_FALSE(d.setFrequency(Frequency::ghz(2.0), 200));  // same value
+    EXPECT_TRUE(d.setFrequency(Frequency::ghz(3.0), 300));
+    EXPECT_EQ(d.transitions(), 2u);
+    EXPECT_EQ(d.frequency(), Frequency::ghz(3.0));
+    // Same-value sets are recorded in the history (attempted
+    // switches) but do not count as transitions.
+    EXPECT_EQ(d.history().size(), 4u);
+}
+
+TEST(FreqDomain, SameTickTransitionOverwrites)
+{
+    FreqDomain d("core", Frequency::ghz(1.0));
+    d.setFrequency(Frequency::ghz(2.0), 100);
+    d.setFrequency(Frequency::ghz(4.0), 100);
+    EXPECT_EQ(d.history().size(), 2u);
+    EXPECT_EQ(d.frequency(), Frequency::ghz(4.0));
+}
+
+TEST(FreqDomain, CyclesToTicksUsesCurrentSetting)
+{
+    FreqDomain d("core", Frequency::ghz(1.0));
+    EXPECT_EQ(d.cyclesToTicks(1000.0), kTicksPerUs);
+    d.setFrequency(Frequency::ghz(2.0), 10);
+    EXPECT_EQ(d.cyclesToTicks(1000.0), kTicksPerUs / 2);
+}
+
+TEST(FreqDomain, AverageGHzWeightsResidency)
+{
+    FreqDomain d("core", Frequency::ghz(1.0));
+    d.setFrequency(Frequency::ghz(3.0), 100);
+    // [0,100) at 1 GHz, [100,200) at 3 GHz -> average 2 GHz
+    EXPECT_NEAR(d.averageGHz(0, 200), 2.0, 1e-9);
+    EXPECT_NEAR(d.averageGHz(0, 100), 1.0, 1e-9);
+    EXPECT_NEAR(d.averageGHz(100, 200), 3.0, 1e-9);
+    EXPECT_NEAR(d.averageGHz(150, 200), 3.0, 1e-9);
+}
+
+TEST(FreqDomain, AverageGHzDegenerateWindow)
+{
+    FreqDomain d("core", Frequency::ghz(2.5));
+    EXPECT_NEAR(d.averageGHz(50, 50), 2.5, 1e-9);
+}
+
+TEST(FreqDomainDeathTest, RejectsInvalidFrequency)
+{
+    FreqDomain d("core", Frequency::ghz(1.0));
+    EXPECT_EXIT(d.setFrequency(Frequency(), 10),
+                ::testing::ExitedWithCode(1), "invalid");
+}
+
+TEST(FreqDomainDeathTest, RejectsOutOfOrderTransition)
+{
+    FreqDomain d("core", Frequency::ghz(1.0));
+    d.setFrequency(Frequency::ghz(2.0), 100);
+    EXPECT_DEATH(d.setFrequency(Frequency::ghz(3.0), 50), "order");
+}

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Unit tests for the managed heap.
+ */
+
+#include <gtest/gtest.h>
+
+#include "rt/heap.hh"
+
+using namespace dvfs;
+using dvfs::rt::Heap;
+using dvfs::rt::HeapConfig;
+
+namespace {
+
+HeapConfig
+tinyHeap()
+{
+    HeapConfig cfg;
+    cfg.nurseryBytes = 1024;
+    cfg.matureBytes = 4096;
+    cfg.nurseryWindows = 4;
+    return cfg;
+}
+
+} // namespace
+
+TEST(Heap, BumpAllocationIsContiguous)
+{
+    Heap h(tinyHeap());
+    auto a = h.allocate(128);
+    auto b = h.allocate(64);
+    ASSERT_TRUE(a && b);
+    EXPECT_EQ(*b, *a + 128);
+    EXPECT_EQ(h.nurseryUsed(), 192u);
+}
+
+TEST(Heap, AllocationRoundsUpToLines)
+{
+    Heap h(tinyHeap());
+    auto a = h.allocate(1);
+    auto b = h.allocate(1);
+    ASSERT_TRUE(a && b);
+    EXPECT_EQ(*b - *a, 64u);
+    EXPECT_EQ(h.totalAllocated(), 128u);
+}
+
+TEST(Heap, FullNurseryReturnsNullopt)
+{
+    Heap h(tinyHeap());
+    ASSERT_TRUE(h.allocate(1024));
+    EXPECT_FALSE(h.allocate(64).has_value());
+}
+
+TEST(Heap, ResetRotatesWindow)
+{
+    Heap h(tinyHeap());
+    auto a = h.allocate(64);
+    h.resetNursery();
+    auto b = h.allocate(64);
+    ASSERT_TRUE(a && b);
+    EXPECT_EQ(*b - *a, 1024u);  // next window
+    EXPECT_EQ(h.nurseryUsed(), 64u);
+
+    // Windows wrap around.
+    for (int i = 0; i < 3; ++i)
+        h.resetNursery();
+    auto c = h.allocate(64);
+    EXPECT_EQ(*c, *a);
+}
+
+TEST(Heap, MatureAllocationWraps)
+{
+    Heap h(tinyHeap());
+    std::uint64_t first = h.matureAlloc(2048);
+    h.matureAlloc(2048);
+    std::uint64_t wrapped = h.matureAlloc(2048);
+    EXPECT_EQ(wrapped, first);
+    EXPECT_EQ(h.totalCopied(), 3u * 2048);
+}
+
+TEST(Heap, SpacesAreDisjoint)
+{
+    Heap h(tinyHeap());
+    auto n = h.allocate(64);
+    auto m = h.matureAlloc(64);
+    ASSERT_TRUE(n);
+    // Nursery windows all live below the mature base.
+    EXPECT_LT(*n + 1024 * 4, m + 1);
+}
+
+TEST(HeapDeathTest, OversizedAllocationIsFatal)
+{
+    Heap h(tinyHeap());
+    EXPECT_EXIT(h.allocate(4096), ::testing::ExitedWithCode(1),
+                "exceeds the nursery");
+}

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Tests for the energy manager (Section VI).
+ */
+
+#include <gtest/gtest.h>
+
+#include "exp/experiment.hh"
+#include "mgr/energy_manager.hh"
+
+using namespace dvfs;
+using namespace dvfs::mgr;
+
+namespace {
+
+ManagerConfig
+smallManager(double slowdown)
+{
+    ManagerConfig mc;
+    mc.quantum = 20 * kTicksPerUs;
+    mc.holdOff = 1;
+    mc.tolerableSlowdown = slowdown;
+    return mc;
+}
+
+} // namespace
+
+TEST(EnergyManager, ZeroToleranceStaysAtHighestFrequency)
+{
+    auto table = power::VfTable::haswell();
+    auto out = exp::runManaged(wl::syntheticSmall(2, 150),
+                               smallManager(0.0), table);
+    // With a zero budget nothing below 4 GHz qualifies.
+    EXPECT_NEAR(out.averageGHz, 4.0, 0.05);
+}
+
+TEST(EnergyManager, LargeToleranceDropsFrequency)
+{
+    auto table = power::VfTable::haswell();
+    auto out = exp::runManaged(wl::syntheticSmall(2, 150),
+                               smallManager(1.5), table);
+    // A 150% budget admits the lowest operating point everywhere.
+    EXPECT_LT(out.averageGHz, 1.5);
+}
+
+TEST(EnergyManager, SlowdownStaysNearBudget)
+{
+    auto params = wl::syntheticSmall(4, 300);
+    auto table = power::VfTable::haswell();
+    auto baseline = exp::runFixed(params, table.highest());
+    auto managed = exp::runManaged(params, smallManager(0.10), table);
+    double slowdown = static_cast<double>(managed.totalTime) /
+                          static_cast<double>(baseline.totalTime) -
+                      1.0;
+    // The manager may undershoot (conservative predictions) but must
+    // not blow materially past the user bound.
+    EXPECT_LT(slowdown, 0.10 + 0.05);
+    EXPECT_GT(slowdown, -0.02);
+}
+
+TEST(EnergyManager, HigherBudgetSavesMoreEnergy)
+{
+    auto params = wl::syntheticSmall(4, 300);
+    auto table = power::VfTable::haswell();
+    auto tight = exp::runManaged(params, smallManager(0.02), table);
+    auto loose = exp::runManaged(params, smallManager(0.20), table);
+    EXPECT_LT(loose.energy.total(), tight.energy.total());
+    EXPECT_LT(loose.averageGHz, tight.averageGHz);
+}
+
+TEST(EnergyManager, DecisionsAreRecordedEveryQuantum)
+{
+    auto params = wl::syntheticSmall(2, 200);
+    auto table = power::VfTable::haswell();
+    ManagerConfig mc = smallManager(0.05);
+    auto out = exp::runManaged(params, mc, table);
+    EXPECT_GT(out.decisions.size(), 2u);
+    for (std::size_t i = 1; i < out.decisions.size(); ++i) {
+        EXPECT_GT(out.decisions[i].tick, out.decisions[i - 1].tick);
+        EXPECT_LE(out.decisions[i].predictedSlowdown,
+                  mc.tolerableSlowdown + 1e-9);
+    }
+}
+
+TEST(EnergyManager, HoldOffSkipsDecisions)
+{
+    auto params = wl::syntheticSmall(2, 200);
+    auto table = power::VfTable::haswell();
+    ManagerConfig every = smallManager(0.05);
+    ManagerConfig held = smallManager(0.05);
+    held.holdOff = 4;
+    auto out_every = exp::runManaged(params, every, table);
+    auto out_held = exp::runManaged(params, held, table);
+    EXPECT_LT(out_held.decisions.size(), out_every.decisions.size());
+}
+
+TEST(EnergyManager, ChosenFrequenciesComeFromTheTable)
+{
+    auto params = wl::syntheticSmall(2, 200);
+    auto table = power::VfTable::haswell();
+    auto out = exp::runManaged(params, smallManager(0.10), table);
+    for (const auto &d : out.decisions) {
+        bool found = false;
+        for (const auto &p : table.points())
+            found = found || p.freq == d.chosen;
+        EXPECT_TRUE(found) << d.chosen.toString();
+    }
+}
+
+TEST(EnergyManagerDeathTest, ConfigValidation)
+{
+    os::SystemConfig sys_cfg = wl::defaultSystemConfig(Frequency::ghz(4.0));
+    os::System sys(sys_cfg);
+    pred::RunRecorder rec(sys);
+    auto table = power::VfTable::haswell();
+
+    ManagerConfig bad;
+    bad.quantum = 0;
+    EXPECT_EXIT(EnergyManager(sys, rec, table, bad),
+                ::testing::ExitedWithCode(1), "quantum");
+    ManagerConfig bad2;
+    bad2.holdOff = 0;
+    EXPECT_EXIT(EnergyManager(sys, rec, table, bad2),
+                ::testing::ExitedWithCode(1), "hold");
+    ManagerConfig bad3;
+    bad3.tolerableSlowdown = -0.1;
+    EXPECT_EXIT(EnergyManager(sys, rec, table, bad3),
+                ::testing::ExitedWithCode(1), "slowdown");
+}

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Unit tests for the deterministic workload RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "sim/rng.hh"
+
+using dvfs::sim::Rng;
+
+TEST(Rng, SameSeedSameStream)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.next() == b.next())
+            ++same;
+    }
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, NextBoundedStaysInBounds)
+{
+    Rng r(7);
+    for (std::uint64_t bound : {1ULL, 2ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+        for (int i = 0; i < 200; ++i)
+            ASSERT_LT(r.nextBounded(bound), bound);
+    }
+    EXPECT_EQ(r.nextBounded(0), 0u);
+}
+
+TEST(Rng, NextRangeInclusive)
+{
+    Rng r(9);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 2000; ++i) {
+        auto v = r.nextRange(5, 8);
+        ASSERT_GE(v, 5u);
+        ASSERT_LE(v, 8u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 4u);  // all four values appear
+}
+
+TEST(Rng, NextDoubleInUnitInterval)
+{
+    Rng r(11);
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        double v = r.nextDouble();
+        ASSERT_GE(v, 0.0);
+        ASSERT_LT(v, 1.0);
+        sum += v;
+    }
+    EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, BernoulliRate)
+{
+    Rng r(13);
+    const int n = 20000;
+    int hits = 0;
+    for (int i = 0; i < n; ++i)
+        hits += r.nextBool(0.25) ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.02);
+    EXPECT_FALSE(r.nextBool(0.0));
+    EXPECT_TRUE(r.nextBool(1.0));
+}
+
+TEST(Rng, ExponentialMean)
+{
+    Rng r(17);
+    const int n = 20000;
+    double sum = 0.0;
+    for (int i = 0; i < n; ++i) {
+        double v = r.nextExp(42.0);
+        ASSERT_GT(v, 0.0);
+        sum += v;
+    }
+    EXPECT_NEAR(sum / n, 42.0, 2.0);
+}
+
+TEST(Rng, SplitProducesIndependentStreams)
+{
+    Rng root(21);
+    Rng a = root.split(1);
+    Rng b = root.split(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.next() == b.next())
+            ++same;
+    }
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, SplitIsDeterministic)
+{
+    Rng r1(33);
+    Rng r2(33);
+    Rng a = r1.split(5);
+    Rng b = r2.split(5);
+    for (int i = 0; i < 100; ++i)
+        ASSERT_EQ(a.next(), b.next());
+}
+
+/** Property: bounded draws are roughly uniform across octants. */
+class RngUniformity : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(RngUniformity, OctantsBalanced)
+{
+    Rng r(GetParam());
+    const int n = 16000;
+    int counts[8] = {0};
+    for (int i = 0; i < n; ++i)
+        counts[r.nextBounded(8)]++;
+    for (int c : counts)
+        EXPECT_NEAR(c, n / 8, n / 40);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngUniformity,
+                         ::testing::Values(1, 2, 42, 1234, 99999));

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Tests for the per-thread scaling laws (pred/scaling.hh).
+ */
+
+#include <gtest/gtest.h>
+
+#include "pred/scaling.hh"
+
+using namespace dvfs;
+using namespace dvfs::pred;
+
+namespace {
+
+uarch::PerfCounters
+counters(Tick busy, Tick stall, Tick leading, Tick crit, Tick sq,
+         Tick true_mem = 0)
+{
+    uarch::PerfCounters c;
+    c.busyTime = busy;
+    c.stallNonscaling = stall;
+    c.leadingNonscaling = leading;
+    c.critNonscaling = crit;
+    c.sqFullTime = sq;
+    c.trueMemTime = true_mem;
+    return c;
+}
+
+} // namespace
+
+TEST(Scaling, EstimatorSelection)
+{
+    auto c = counters(100, 10, 20, 30, 5, 40);
+    EXPECT_EQ(nonscalingTime(c, {BaseEstimator::StallTime, false}), 10u);
+    EXPECT_EQ(nonscalingTime(c, {BaseEstimator::LeadingLoads, false}), 20u);
+    EXPECT_EQ(nonscalingTime(c, {BaseEstimator::Crit, false}), 30u);
+    EXPECT_EQ(nonscalingTime(c, {BaseEstimator::Oracle, false}), 40u);
+}
+
+TEST(Scaling, BurstAddsSqTime)
+{
+    auto c = counters(100, 10, 20, 30, 5);
+    EXPECT_EQ(nonscalingTime(c, {BaseEstimator::Crit, true}), 35u);
+    EXPECT_EQ(nonscalingTime(c, {BaseEstimator::StallTime, true}), 15u);
+}
+
+TEST(Scaling, RatioOneIsIdentity)
+{
+    auto c = counters(1000, 0, 0, 300, 50);
+    for (auto base : {BaseEstimator::StallTime, BaseEstimator::Crit}) {
+        EXPECT_EQ(predictSpan(1000, c, {base, false}, 1.0), 1000u);
+        EXPECT_EQ(predictSpan(1000, c, {base, true}, 1.0), 1000u);
+    }
+}
+
+TEST(Scaling, PureScalingWorkDividesExactly)
+{
+    auto c = counters(1000, 0, 0, 0, 0);
+    EXPECT_EQ(predictSpan(1000, c, {BaseEstimator::Crit, false}, 0.25),
+              250u);
+    EXPECT_EQ(predictSpan(1000, c, {BaseEstimator::Crit, false}, 4.0),
+              4000u);
+}
+
+TEST(Scaling, NonScalingPartIsInvariant)
+{
+    auto c = counters(1000, 0, 0, 400, 0);
+    // 600 scaling + 400 non-scaling.
+    EXPECT_EQ(predictSpan(1000, c, {BaseEstimator::Crit, false}, 0.5),
+              300u + 400u);
+    EXPECT_EQ(predictSpan(1000, c, {BaseEstimator::Crit, false}, 2.0),
+              1200u + 400u);
+}
+
+TEST(Scaling, NonScalingClampedToSpan)
+{
+    // CRIT can overestimate (fully-overlapped misses): the model must
+    // clamp to the observed span rather than go negative.
+    auto c = counters(1000, 0, 0, 5000, 0);
+    EXPECT_EQ(predictSpan(1000, c, {BaseEstimator::Crit, false}, 0.25),
+              1000u);
+    EXPECT_EQ(predictSpan(1000, c, {BaseEstimator::Crit, false}, 4.0),
+              1000u);
+}
+
+TEST(Scaling, ModelSpecNames)
+{
+    EXPECT_EQ((ModelSpec{BaseEstimator::Crit, false}).name(), "CRIT");
+    EXPECT_EQ((ModelSpec{BaseEstimator::Crit, true}).name(), "CRIT+BURST");
+    EXPECT_EQ((ModelSpec{BaseEstimator::LeadingLoads, false}).name(), "LL");
+    EXPECT_EQ((ModelSpec{BaseEstimator::StallTime, true}).name(),
+              "STALL+BURST");
+}
+
+/** Property: predictions are monotone in the ratio. */
+class ScalingMonotone : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(ScalingMonotone, MoreSlowdownMoreTime)
+{
+    auto c = counters(1000, 100, 150, 200, 50);
+    double r = GetParam();
+    ModelSpec spec{BaseEstimator::Crit, true};
+    Tick at_r = predictSpan(1000, c, spec, r);
+    Tick at_2r = predictSpan(1000, c, spec, 2 * r);
+    EXPECT_LT(at_r, at_2r);
+    // And bounded by the all-scaling / all-nonscaling extremes.
+    EXPECT_GE(at_r, std::min<Tick>(1000, nonscalingTime(c, spec)));
+    EXPECT_LE(at_r,
+              static_cast<Tick>(1000 * std::max(1.0, r)) + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ratios, ScalingMonotone,
+                         ::testing::Values(0.25, 0.5, 1.0, 1.5, 2.0));

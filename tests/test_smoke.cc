@@ -1,0 +1,32 @@
+/**
+ * @file
+ * End-to-end smoke tests: a small benchmark builds, runs to
+ * completion, and produces sane top-level quantities.
+ */
+
+#include <gtest/gtest.h>
+
+#include "exp/experiment.hh"
+#include "wl/suite.hh"
+
+using namespace dvfs;
+
+TEST(Smoke, SyntheticRunsToCompletion)
+{
+    auto params = wl::syntheticSmall(2, 50);
+    auto out = exp::runFixed(params, Frequency::ghz(1.0));
+    EXPECT_GT(out.totalTime, 0u);
+    EXPECT_GT(out.totals.instructions, 0u);
+    EXPECT_FALSE(out.record.epochs.empty());
+    EXPECT_GT(out.energy.total(), 0.0);
+}
+
+TEST(Smoke, HigherFrequencyIsFaster)
+{
+    auto params = wl::syntheticSmall(2, 50);
+    auto slow = exp::runFixed(params, Frequency::ghz(1.0));
+    auto fast = exp::runFixed(params, Frequency::ghz(4.0));
+    EXPECT_LT(fast.totalTime, slow.totalTime);
+    // But not 4x faster: the non-scaling component persists.
+    EXPECT_GT(fast.totalTime, slow.totalTime / 4);
+}

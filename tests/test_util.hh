@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Shared helpers for the test suite.
+ */
+
+#ifndef DVFS_TESTS_TEST_UTIL_HH
+#define DVFS_TESTS_TEST_UTIL_HH
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "os/system.hh"
+
+namespace dvfs::test {
+
+/** A thread program replaying a fixed list of actions, then exiting. */
+class ScriptProgram : public os::ThreadProgram
+{
+  public:
+    explicit ScriptProgram(std::vector<os::Action> script)
+        : _script(std::move(script))
+    {
+    }
+
+    os::Action
+    next(os::ThreadContext &) override
+    {
+        if (_pos < _script.size())
+            return _script[_pos++];
+        return os::Action::makeExit();
+    }
+
+  private:
+    std::vector<os::Action> _script;
+    std::size_t _pos = 0;
+};
+
+/** A thread program delegating to a lambda. */
+class LambdaProgram : public os::ThreadProgram
+{
+  public:
+    using Fn = std::function<os::Action(os::ThreadContext &)>;
+
+    explicit LambdaProgram(Fn fn) : _fn(std::move(fn)) {}
+
+    os::Action
+    next(os::ThreadContext &ctx) override
+    {
+        return _fn(ctx);
+    }
+
+  private:
+    Fn _fn;
+};
+
+/** Collects the sync-event trace for assertions. */
+class TraceCollector : public os::SyncListener
+{
+  public:
+    void
+    onSyncEvent(const os::SyncEvent &ev, const os::System &) override
+    {
+        events.push_back(ev);
+    }
+
+    /** Count events of one kind. */
+    std::size_t
+    count(os::SyncEventKind kind) const
+    {
+        std::size_t n = 0;
+        for (const auto &e : events) {
+            if (e.kind == kind)
+                ++n;
+        }
+        return n;
+    }
+
+    std::vector<os::SyncEvent> events;
+};
+
+/** Convenience: add a scripted thread. */
+inline os::ThreadId
+addScript(os::System &sys, const std::string &name,
+          std::vector<os::Action> script, bool service = false)
+{
+    return sys.addThread(name,
+                         std::make_unique<ScriptProgram>(std::move(script)),
+                         service);
+}
+
+} // namespace dvfs::test
+
+#endif // DVFS_TESTS_TEST_UTIL_HH
