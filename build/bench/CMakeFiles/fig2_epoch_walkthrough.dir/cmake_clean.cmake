@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_epoch_walkthrough.dir/fig2_epoch_walkthrough.cc.o"
+  "CMakeFiles/fig2_epoch_walkthrough.dir/fig2_epoch_walkthrough.cc.o.d"
+  "fig2_epoch_walkthrough"
+  "fig2_epoch_walkthrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_epoch_walkthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

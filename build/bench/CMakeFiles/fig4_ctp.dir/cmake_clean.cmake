@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_ctp.dir/fig4_ctp.cc.o"
+  "CMakeFiles/fig4_ctp.dir/fig4_ctp.cc.o.d"
+  "fig4_ctp"
+  "fig4_ctp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_ctp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_manager_trace.dir/fig5_manager_trace.cc.o"
+  "CMakeFiles/fig5_manager_trace.dir/fig5_manager_trace.cc.o.d"
+  "fig5_manager_trace"
+  "fig5_manager_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_manager_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_energy_manager.dir/fig6_energy_manager.cc.o"
+  "CMakeFiles/fig6_energy_manager.dir/fig6_energy_manager.cc.o.d"
+  "fig6_energy_manager"
+  "fig6_energy_manager.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_energy_manager.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

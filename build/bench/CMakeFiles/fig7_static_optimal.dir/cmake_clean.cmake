@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_static_optimal.dir/fig7_static_optimal.cc.o"
+  "CMakeFiles/fig7_static_optimal.dir/fig7_static_optimal.cc.o.d"
+  "fig7_static_optimal"
+  "fig7_static_optimal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_static_optimal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig7_static_optimal.
+# This may be replaced when dependencies are built.

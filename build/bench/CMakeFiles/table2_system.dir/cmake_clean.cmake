@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_system.dir/table2_system.cc.o"
+  "CMakeFiles/table2_system.dir/table2_system.cc.o.d"
+  "table2_system"
+  "table2_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

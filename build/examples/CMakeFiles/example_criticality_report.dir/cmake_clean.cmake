@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_criticality_report.dir/criticality_report.cc.o"
+  "CMakeFiles/example_criticality_report.dir/criticality_report.cc.o.d"
+  "example_criticality_report"
+  "example_criticality_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_criticality_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_energy_capped_service.dir/energy_capped_service.cc.o"
+  "CMakeFiles/example_energy_capped_service.dir/energy_capped_service.cc.o.d"
+  "example_energy_capped_service"
+  "example_energy_capped_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_energy_capped_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

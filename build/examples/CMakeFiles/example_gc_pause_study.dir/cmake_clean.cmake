@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_gc_pause_study.dir/gc_pause_study.cc.o"
+  "CMakeFiles/example_gc_pause_study.dir/gc_pause_study.cc.o.d"
+  "example_gc_pause_study"
+  "example_gc_pause_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_gc_pause_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_predictor_playground.dir/predictor_playground.cc.o"
+  "CMakeFiles/example_predictor_playground.dir/predictor_playground.cc.o.d"
+  "example_predictor_playground"
+  "example_predictor_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_predictor_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,45 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exp/experiment.cc" "src/CMakeFiles/depburst.dir/exp/experiment.cc.o" "gcc" "src/CMakeFiles/depburst.dir/exp/experiment.cc.o.d"
+  "/root/repo/src/exp/export.cc" "src/CMakeFiles/depburst.dir/exp/export.cc.o" "gcc" "src/CMakeFiles/depburst.dir/exp/export.cc.o.d"
+  "/root/repo/src/exp/table.cc" "src/CMakeFiles/depburst.dir/exp/table.cc.o" "gcc" "src/CMakeFiles/depburst.dir/exp/table.cc.o.d"
+  "/root/repo/src/mgr/energy_manager.cc" "src/CMakeFiles/depburst.dir/mgr/energy_manager.cc.o" "gcc" "src/CMakeFiles/depburst.dir/mgr/energy_manager.cc.o.d"
+  "/root/repo/src/os/futex.cc" "src/CMakeFiles/depburst.dir/os/futex.cc.o" "gcc" "src/CMakeFiles/depburst.dir/os/futex.cc.o.d"
+  "/root/repo/src/os/scheduler.cc" "src/CMakeFiles/depburst.dir/os/scheduler.cc.o" "gcc" "src/CMakeFiles/depburst.dir/os/scheduler.cc.o.d"
+  "/root/repo/src/os/system.cc" "src/CMakeFiles/depburst.dir/os/system.cc.o" "gcc" "src/CMakeFiles/depburst.dir/os/system.cc.o.d"
+  "/root/repo/src/power/power_model.cc" "src/CMakeFiles/depburst.dir/power/power_model.cc.o" "gcc" "src/CMakeFiles/depburst.dir/power/power_model.cc.o.d"
+  "/root/repo/src/power/vf_table.cc" "src/CMakeFiles/depburst.dir/power/vf_table.cc.o" "gcc" "src/CMakeFiles/depburst.dir/power/vf_table.cc.o.d"
+  "/root/repo/src/pred/criticality.cc" "src/CMakeFiles/depburst.dir/pred/criticality.cc.o" "gcc" "src/CMakeFiles/depburst.dir/pred/criticality.cc.o.d"
+  "/root/repo/src/pred/predictors.cc" "src/CMakeFiles/depburst.dir/pred/predictors.cc.o" "gcc" "src/CMakeFiles/depburst.dir/pred/predictors.cc.o.d"
+  "/root/repo/src/pred/record.cc" "src/CMakeFiles/depburst.dir/pred/record.cc.o" "gcc" "src/CMakeFiles/depburst.dir/pred/record.cc.o.d"
+  "/root/repo/src/rt/gc_worker.cc" "src/CMakeFiles/depburst.dir/rt/gc_worker.cc.o" "gcc" "src/CMakeFiles/depburst.dir/rt/gc_worker.cc.o.d"
+  "/root/repo/src/rt/heap.cc" "src/CMakeFiles/depburst.dir/rt/heap.cc.o" "gcc" "src/CMakeFiles/depburst.dir/rt/heap.cc.o.d"
+  "/root/repo/src/rt/runtime.cc" "src/CMakeFiles/depburst.dir/rt/runtime.cc.o" "gcc" "src/CMakeFiles/depburst.dir/rt/runtime.cc.o.d"
+  "/root/repo/src/sim/event_queue.cc" "src/CMakeFiles/depburst.dir/sim/event_queue.cc.o" "gcc" "src/CMakeFiles/depburst.dir/sim/event_queue.cc.o.d"
+  "/root/repo/src/sim/log.cc" "src/CMakeFiles/depburst.dir/sim/log.cc.o" "gcc" "src/CMakeFiles/depburst.dir/sim/log.cc.o.d"
+  "/root/repo/src/sim/rng.cc" "src/CMakeFiles/depburst.dir/sim/rng.cc.o" "gcc" "src/CMakeFiles/depburst.dir/sim/rng.cc.o.d"
+  "/root/repo/src/sim/stats.cc" "src/CMakeFiles/depburst.dir/sim/stats.cc.o" "gcc" "src/CMakeFiles/depburst.dir/sim/stats.cc.o.d"
+  "/root/repo/src/sim/time.cc" "src/CMakeFiles/depburst.dir/sim/time.cc.o" "gcc" "src/CMakeFiles/depburst.dir/sim/time.cc.o.d"
+  "/root/repo/src/uarch/cache.cc" "src/CMakeFiles/depburst.dir/uarch/cache.cc.o" "gcc" "src/CMakeFiles/depburst.dir/uarch/cache.cc.o.d"
+  "/root/repo/src/uarch/core.cc" "src/CMakeFiles/depburst.dir/uarch/core.cc.o" "gcc" "src/CMakeFiles/depburst.dir/uarch/core.cc.o.d"
+  "/root/repo/src/uarch/dram.cc" "src/CMakeFiles/depburst.dir/uarch/dram.cc.o" "gcc" "src/CMakeFiles/depburst.dir/uarch/dram.cc.o.d"
+  "/root/repo/src/uarch/freq_domain.cc" "src/CMakeFiles/depburst.dir/uarch/freq_domain.cc.o" "gcc" "src/CMakeFiles/depburst.dir/uarch/freq_domain.cc.o.d"
+  "/root/repo/src/wl/builder.cc" "src/CMakeFiles/depburst.dir/wl/builder.cc.o" "gcc" "src/CMakeFiles/depburst.dir/wl/builder.cc.o.d"
+  "/root/repo/src/wl/programs.cc" "src/CMakeFiles/depburst.dir/wl/programs.cc.o" "gcc" "src/CMakeFiles/depburst.dir/wl/programs.cc.o.d"
+  "/root/repo/src/wl/suite.cc" "src/CMakeFiles/depburst.dir/wl/suite.cc.o" "gcc" "src/CMakeFiles/depburst.dir/wl/suite.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,45 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_actions.cc" "tests/CMakeFiles/depburst_tests.dir/test_actions.cc.o" "gcc" "tests/CMakeFiles/depburst_tests.dir/test_actions.cc.o.d"
+  "/root/repo/tests/test_cache.cc" "tests/CMakeFiles/depburst_tests.dir/test_cache.cc.o" "gcc" "tests/CMakeFiles/depburst_tests.dir/test_cache.cc.o.d"
+  "/root/repo/tests/test_core_model.cc" "tests/CMakeFiles/depburst_tests.dir/test_core_model.cc.o" "gcc" "tests/CMakeFiles/depburst_tests.dir/test_core_model.cc.o.d"
+  "/root/repo/tests/test_criticality.cc" "tests/CMakeFiles/depburst_tests.dir/test_criticality.cc.o" "gcc" "tests/CMakeFiles/depburst_tests.dir/test_criticality.cc.o.d"
+  "/root/repo/tests/test_dram.cc" "tests/CMakeFiles/depburst_tests.dir/test_dram.cc.o" "gcc" "tests/CMakeFiles/depburst_tests.dir/test_dram.cc.o.d"
+  "/root/repo/tests/test_event_queue.cc" "tests/CMakeFiles/depburst_tests.dir/test_event_queue.cc.o" "gcc" "tests/CMakeFiles/depburst_tests.dir/test_event_queue.cc.o.d"
+  "/root/repo/tests/test_exp_table.cc" "tests/CMakeFiles/depburst_tests.dir/test_exp_table.cc.o" "gcc" "tests/CMakeFiles/depburst_tests.dir/test_exp_table.cc.o.d"
+  "/root/repo/tests/test_export.cc" "tests/CMakeFiles/depburst_tests.dir/test_export.cc.o" "gcc" "tests/CMakeFiles/depburst_tests.dir/test_export.cc.o.d"
+  "/root/repo/tests/test_freq_domain.cc" "tests/CMakeFiles/depburst_tests.dir/test_freq_domain.cc.o" "gcc" "tests/CMakeFiles/depburst_tests.dir/test_freq_domain.cc.o.d"
+  "/root/repo/tests/test_futex.cc" "tests/CMakeFiles/depburst_tests.dir/test_futex.cc.o" "gcc" "tests/CMakeFiles/depburst_tests.dir/test_futex.cc.o.d"
+  "/root/repo/tests/test_heap.cc" "tests/CMakeFiles/depburst_tests.dir/test_heap.cc.o" "gcc" "tests/CMakeFiles/depburst_tests.dir/test_heap.cc.o.d"
+  "/root/repo/tests/test_integration_accuracy.cc" "tests/CMakeFiles/depburst_tests.dir/test_integration_accuracy.cc.o" "gcc" "tests/CMakeFiles/depburst_tests.dir/test_integration_accuracy.cc.o.d"
+  "/root/repo/tests/test_manager.cc" "tests/CMakeFiles/depburst_tests.dir/test_manager.cc.o" "gcc" "tests/CMakeFiles/depburst_tests.dir/test_manager.cc.o.d"
+  "/root/repo/tests/test_perf_counters.cc" "tests/CMakeFiles/depburst_tests.dir/test_perf_counters.cc.o" "gcc" "tests/CMakeFiles/depburst_tests.dir/test_perf_counters.cc.o.d"
+  "/root/repo/tests/test_power.cc" "tests/CMakeFiles/depburst_tests.dir/test_power.cc.o" "gcc" "tests/CMakeFiles/depburst_tests.dir/test_power.cc.o.d"
+  "/root/repo/tests/test_predictors.cc" "tests/CMakeFiles/depburst_tests.dir/test_predictors.cc.o" "gcc" "tests/CMakeFiles/depburst_tests.dir/test_predictors.cc.o.d"
+  "/root/repo/tests/test_programs.cc" "tests/CMakeFiles/depburst_tests.dir/test_programs.cc.o" "gcc" "tests/CMakeFiles/depburst_tests.dir/test_programs.cc.o.d"
+  "/root/repo/tests/test_record_epochs.cc" "tests/CMakeFiles/depburst_tests.dir/test_record_epochs.cc.o" "gcc" "tests/CMakeFiles/depburst_tests.dir/test_record_epochs.cc.o.d"
+  "/root/repo/tests/test_rng.cc" "tests/CMakeFiles/depburst_tests.dir/test_rng.cc.o" "gcc" "tests/CMakeFiles/depburst_tests.dir/test_rng.cc.o.d"
+  "/root/repo/tests/test_runtime_gc.cc" "tests/CMakeFiles/depburst_tests.dir/test_runtime_gc.cc.o" "gcc" "tests/CMakeFiles/depburst_tests.dir/test_runtime_gc.cc.o.d"
+  "/root/repo/tests/test_scaling.cc" "tests/CMakeFiles/depburst_tests.dir/test_scaling.cc.o" "gcc" "tests/CMakeFiles/depburst_tests.dir/test_scaling.cc.o.d"
+  "/root/repo/tests/test_smoke.cc" "tests/CMakeFiles/depburst_tests.dir/test_smoke.cc.o" "gcc" "tests/CMakeFiles/depburst_tests.dir/test_smoke.cc.o.d"
+  "/root/repo/tests/test_stats.cc" "tests/CMakeFiles/depburst_tests.dir/test_stats.cc.o" "gcc" "tests/CMakeFiles/depburst_tests.dir/test_stats.cc.o.d"
+  "/root/repo/tests/test_system.cc" "tests/CMakeFiles/depburst_tests.dir/test_system.cc.o" "gcc" "tests/CMakeFiles/depburst_tests.dir/test_system.cc.o.d"
+  "/root/repo/tests/test_time.cc" "tests/CMakeFiles/depburst_tests.dir/test_time.cc.o" "gcc" "tests/CMakeFiles/depburst_tests.dir/test_time.cc.o.d"
+  "/root/repo/tests/test_workloads.cc" "tests/CMakeFiles/depburst_tests.dir/test_workloads.cc.o" "gcc" "tests/CMakeFiles/depburst_tests.dir/test_workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/depburst.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
