@@ -1,7 +1,9 @@
 #include "exp/experiment.hh"
 
 #include <cmath>
+#include <memory>
 
+#include "fault/injector.hh"
 #include "sim/log.hh"
 
 namespace dvfs::exp {
@@ -72,6 +74,52 @@ runManaged(const wl::WorkloadParams &params,
     out.collections = inst.runtime->collections();
     out.averageGHz = inst.sys->coreDomain().averageGHz(0, res.totalTime);
     out.transitions = inst.sys->coreDomain().transitions();
+    return out;
+}
+
+HardenedRunOutput
+runHardened(const wl::WorkloadParams &params, const power::VfTable &table,
+            const HardenedRunOptions &opts)
+{
+    os::SystemConfig sys_cfg = wl::defaultSystemConfig(table.highest());
+    sys_cfg.seed = opts.seed;
+    wl::BenchInstance inst = wl::buildBenchmark(params, sys_cfg);
+
+    pred::RunRecorder rec(*inst.sys);
+    inst.sys->addListener(&rec);
+
+    fault::FaultPlan plan(opts.faults);
+    fault::installFaults(*inst.sys, plan, inst.runtime.get());
+
+    fault::InvariantAuditor auditor(*inst.sys, opts.auditor);
+    auditor.observeEpochs(&rec);
+    auditor.attach();
+
+    std::unique_ptr<mgr::EnergyManager> manager;
+    if (opts.managed) {
+        manager = std::make_unique<mgr::EnergyManager>(*inst.sys, rec,
+                                                       table, opts.mgrCfg);
+        manager->attach();
+    }
+
+    os::RunResult res = inst.sys->run();
+
+    HardenedRunOutput out;
+    out.totalTime = res.totalTime;
+    out.finished = res.finished;
+    out.aborted = res.aborted;
+    out.abortReason = res.abortReason;
+    if (manager) {
+        out.decisions = manager->decisions();
+        out.fallbacks = manager->fallbacks();
+    }
+    out.averageGHz = inst.sys->coreDomain().averageGHz(0, res.totalTime);
+    out.faultTrace = plan.trace();
+    out.faultFingerprint = plan.fingerprint();
+    out.faultsInjected = plan.totalInjected();
+    out.violations = auditor.violations();
+    out.watchdog = auditor.watchdog();
+    out.audits = auditor.audits();
     return out;
 }
 

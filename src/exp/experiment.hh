@@ -9,6 +9,8 @@
 
 #include <vector>
 
+#include "fault/auditor.hh"
+#include "fault/fault_plan.hh"
 #include "mgr/energy_manager.hh"
 #include "power/power_model.hh"
 #include "power/vf_table.hh"
@@ -62,6 +64,47 @@ ManagedRunOutput runManaged(const wl::WorkloadParams &params,
                             const mgr::ManagerConfig &mgr_cfg,
                             const power::VfTable &table,
                             std::uint64_t seed = 42);
+
+/** Options for runHardened. */
+struct HardenedRunOptions {
+    fault::FaultConfig faults = fault::FaultConfig::none();
+    fault::AuditorConfig auditor;
+    bool managed = true;            ///< energy manager vs fixed-at-highest
+    mgr::ManagerConfig mgrCfg;      ///< manager parameters when managed
+    std::uint64_t seed = 42;        ///< machine seed
+};
+
+/**
+ * Everything collected from one fault-injected, audited run. Unlike
+ * runFixed/runManaged this never fatals on a non-finishing run: a
+ * watchdog abort is a *result* here, reported in watchdog/aborted.
+ */
+struct HardenedRunOutput {
+    Tick totalTime = 0;
+    bool finished = false;
+    bool aborted = false;
+    std::string abortReason;
+
+    std::vector<mgr::EnergyManager::Decision> decisions;
+    std::uint64_t fallbacks = 0;
+    double averageGHz = 0.0;
+
+    std::vector<fault::FaultEvent> faultTrace;
+    std::uint64_t faultFingerprint = 0;
+    std::uint64_t faultsInjected = 0;
+
+    std::vector<fault::Violation> violations;
+    fault::WatchdogReport watchdog;
+    std::uint64_t audits = 0;
+};
+
+/**
+ * Run @p params on the default Table II machine with @p opts.faults
+ * injected and the invariant auditor attached throughout.
+ */
+HardenedRunOutput runHardened(const wl::WorkloadParams &params,
+                              const power::VfTable &table,
+                              const HardenedRunOptions &opts);
 
 /** Mean of absolute values. */
 double meanAbs(const std::vector<double> &xs);

@@ -1,0 +1,54 @@
+#include "fault/injector.hh"
+
+#include <vector>
+
+#include "rt/runtime.hh"
+#include "sim/log.hh"
+
+namespace dvfs::fault {
+
+namespace {
+
+/**
+ * Deliver one spurious wake to a deterministically chosen blocked
+ * thread, then reschedule. Victims are picked among *all* blocked
+ * threads (application and service alike): GC workers parked on the
+ * work futex are exactly the kind of waiter real spurious wakeups hit.
+ */
+void
+pumpSpuriousWakes(os::System &sys, FaultPlan &plan)
+{
+    Tick delay = plan.nextSpuriousWakeDelay();
+    if (delay == 0)
+        return;
+    sys.eventQueue().scheduleAfter(delay, [&sys, &plan] {
+        if (sys.runEnded() || sys.stopRequested())
+            return;
+        std::vector<os::ThreadId> blocked;
+        for (std::size_t i = 0; i < sys.numThreads(); ++i) {
+            auto tid = static_cast<os::ThreadId>(i);
+            if (sys.thread(tid).state == os::ThreadState::Blocked)
+                blocked.push_back(tid);
+        }
+        if (!blocked.empty()) {
+            os::ThreadId victim =
+                blocked[plan.pickVictim(blocked.size())];
+            if (sys.injectSpuriousWake(victim))
+                plan.recordSpuriousWake(sys.now());
+        }
+        pumpSpuriousWakes(sys, plan);
+    });
+}
+
+} // namespace
+
+void
+installFaults(os::System &sys, FaultPlan &plan, rt::Runtime *runtime)
+{
+    sys.setFaultPlan(&plan);
+    if (runtime)
+        runtime->setFaultPlan(&plan);
+    pumpSpuriousWakes(sys, plan);
+}
+
+} // namespace dvfs::fault

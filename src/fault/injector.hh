@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Wiring a FaultPlan into a machine.
+ *
+ * The plan itself is passive; this installer connects it to every
+ * hook point — the DRAM controller, the DVFS path, the scheduler's
+ * action boundaries, optionally the managed runtime — and drives the
+ * one fault class that needs an active pump: spurious futex wakeups,
+ * delivered by a self-rescheduling event whose spacing and victim
+ * choice come from the plan's own deterministic streams.
+ */
+
+#ifndef DVFS_FAULT_INJECTOR_HH
+#define DVFS_FAULT_INJECTOR_HH
+
+#include "fault/fault_plan.hh"
+#include "os/system.hh"
+
+namespace dvfs::rt {
+class Runtime;
+}
+
+namespace dvfs::fault {
+
+/**
+ * Install @p plan on @p sys (and @p runtime, if given) and start the
+ * spurious-wake pump when that class is enabled.
+ *
+ * Call after threads are added and before System::run(). The plan
+ * must outlive the system.
+ */
+void installFaults(os::System &sys, FaultPlan &plan,
+                   rt::Runtime *runtime = nullptr);
+
+} // namespace dvfs::fault
+
+#endif // DVFS_FAULT_INJECTOR_HH

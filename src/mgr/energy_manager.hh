@@ -14,6 +14,14 @@
  * The per-quantum estimation uses DEP(+BURST) with across-epoch CTP by
  * default; the ModelSpec and CTP mode are configurable so the
  * benchmarks can ablate the predictor choice inside the manager.
+ *
+ * The manager is hardened against a misbehaving predictor: any
+ * non-finite, negative, or incredibly large predicted slowdown is
+ * rejected and the quantum falls back to the highest operating point
+ * (safe for the slowdown bound, merely wasteful for energy), recorded
+ * as Decision::fallback. When decisions oscillate A->B->A the
+ * effective hold-off doubles per flip (up to maxBackoff) so a noisy
+ * prediction cannot thrash the voltage regulator.
  */
 
 #ifndef DVFS_MGR_ENERGY_MANAGER_HH
@@ -44,6 +52,21 @@ struct ManagerConfig {
 
     /** Across-epoch CTP (Algorithm 1) vs. per-epoch CTP. */
     bool acrossEpochCtp = true;
+
+    /**
+     * Predicted slowdowns above this are rejected as garbage (a sane
+     * prediction is bounded by the frequency ratio of the table's
+     * extreme points, nowhere near this) and trigger the
+     * highest-frequency fallback.
+     */
+    double maxCredibleSlowdown = 100.0;
+
+    /**
+     * Cap on the oscillation backoff multiplier: when decisions
+     * flip A->B->A the effective hold-off doubles per flip, up to
+     * holdOff * maxBackoff intervals.
+     */
+    std::uint32_t maxBackoff = 8;
 };
 
 /**
@@ -58,6 +81,7 @@ class EnergyManager
         Frequency chosen;             ///< frequency for the next quantum
         double predictedSlowdown = 0; ///< at the chosen point
         bool usedEpochs = false;      ///< epoch path vs. aggregate path
+        bool fallback = false;        ///< degraded mode: prediction rejected
     };
 
     /**
@@ -82,10 +106,35 @@ class EnergyManager
     /** Number of quanta evaluated. */
     std::uint64_t quanta() const { return _quanta; }
 
+    /** Quanta that fell back to the highest point (degraded mode). */
+    std::uint64_t fallbacks() const { return _fallbacks; }
+
+    /** Current oscillation backoff multiplier (1 = none). */
+    std::uint32_t backoff() const { return _backoff; }
+
     const ManagerConfig &config() const { return _cfg; }
+
+    virtual ~EnergyManager() = default;
+
+  protected:
+    /**
+     * Predicted slowdown of the last quantum at ratio @p r_cand
+     * (f_current / f_candidate) relative to the reference duration
+     * @p t_ref at the highest point. Virtual so tests can substitute
+     * a broken predictor: any non-finite, clearly negative, or
+     * incredibly large return value trips the degraded path instead
+     * of steering the machine.
+     */
+    virtual double predictSlowdown(std::size_t epoch_first,
+                                   std::size_t epoch_last, Tick t_ref,
+                                   double r_cand,
+                                   bool &used_epochs) const;
 
   private:
     void onQuantum();
+
+    /** A prediction the manager is willing to act on. */
+    bool credibleSlowdown(double slowdown) const;
 
     /**
      * Predicted duration of the last quantum had the machine run at
@@ -105,6 +154,9 @@ class EnergyManager
     Tick _quantumStart = 0;
     std::uint32_t _sinceChange = 0;
     std::uint64_t _quanta = 0;
+    std::uint64_t _fallbacks = 0;
+    std::uint32_t _backoff = 1;
+    Frequency _prevFreq;  ///< frequency before the last change
     std::vector<Decision> _decisions;
 };
 

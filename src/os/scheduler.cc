@@ -24,6 +24,7 @@ Scheduler::freeCore() const
 void
 Scheduler::assign(ThreadId tid, std::uint32_t c)
 {
+    DVFS_ASSERT(tid != kNoThread, "assigning no-thread to a core");
     DVFS_ASSERT(c < _coreOccupant.size(), "core index out of range");
     DVFS_ASSERT(_coreOccupant[c] == kNoThread, "core already occupied");
     _coreOccupant[c] = tid;
@@ -40,6 +41,7 @@ Scheduler::release(std::uint32_t c)
 void
 Scheduler::enqueueReady(ThreadId tid)
 {
+    DVFS_ASSERT(tid != kNoThread, "enqueueing no-thread");
     _ready.push_back(tid);
 }
 

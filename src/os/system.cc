@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "fault/fault_plan.hh"
 #include "sim/log.hh"
 
 namespace dvfs::os {
@@ -134,16 +135,42 @@ System::addFrequencyObserver(std::function<void(Frequency, Tick)> fn)
 }
 
 void
+System::setFaultPlan(fault::FaultPlan *plan)
+{
+    _faultPlan = plan;
+    _dram.setFaultPlan(plan);
+}
+
+void
+System::requestStop(std::string reason)
+{
+    if (_stopRequested)
+        return;
+    _stopRequested = true;
+    _stopReason = std::move(reason);
+}
+
+void
 System::setFrequency(Frequency f)
 {
     if (!f.valid())
         fatal("setFrequency: invalid frequency");
     if (f == _coreDomain.frequency())
         return;
+    Tick stall = _cfg.dvfsTransitionLatency;
+    if (_faultPlan) {
+        // The PCU may drop the request entirely, or take longer than
+        // the documented transition latency.
+        if (_faultPlan->dvfsReject(_eq.now())) {
+            debugLog("dvfs transition to %s rejected (injected fault)",
+                     f.toString().c_str());
+            return;
+        }
+        stall += _faultPlan->dvfsExtraDelay(_eq.now());
+    }
     // All in-flight work completes with the old timing; newly
     // dispatched work waits out the chip-wide transition stall.
-    _frozenUntil = std::max(_frozenUntil,
-                            _eq.now() + _cfg.dvfsTransitionLatency);
+    _frozenUntil = std::max(_frozenUntil, _eq.now() + stall);
     for (auto &fn : _freqObservers)
         fn(f, _eq.now());
     _coreDomain.setFrequency(f, _eq.now());
@@ -238,6 +265,17 @@ System::dispatch(Thread &t)
         return;
     DVFS_ASSERT(t.state == ThreadState::Running,
                 "dispatch of non-running thread");
+
+    // Retry loop after a spurious wakeup: re-park on the same futex
+    // without consulting the program. If a genuine wake raced with the
+    // retry window, parkCommit's pendingWake check turns this into an
+    // immediate continue.
+    if (t.retryFutex != kNoSync) {
+        SyncId f = t.retryFutex;
+        t.retryFutex = kNoSync;
+        parkCommit(t, f);
+        return;
+    }
 
     std::optional<Action> a;
     if (_interceptor)
@@ -334,8 +372,11 @@ System::onActionDone(Thread &t)
               t.name.c_str(), threadStateName(t.state));
 
     // Round-robin: yield the core at action boundaries once the
-    // timeslice is exhausted and someone is waiting.
-    if (_sched.hasReady() && _eq.now() - t.sliceStart >= _cfg.timeslice) {
+    // timeslice is exhausted and someone is waiting. An installed
+    // fault plan may also preempt off-schedule (kernel jitter).
+    const bool forced = _faultPlan && _faultPlan->preemptNow(_eq.now());
+    if (forced ||
+        (_sched.hasReady() && _eq.now() - t.sliceStart >= _cfg.timeslice)) {
         emit(SyncEventKind::SchedOut, t.id);
         t.state = ThreadState::Ready;
         vacateCore(t);
@@ -358,7 +399,30 @@ System::parkCommit(Thread &t, SyncId f)
     t.blockedOn = f;
     emit(SyncEventKind::FutexWait, t.id, f);
     t.state = ThreadState::Blocked;
+    t.blockedSince = _eq.now();
     vacateCore(t);
+}
+
+bool
+System::injectSpuriousWake(ThreadId tid)
+{
+    if (tid >= _threads.size() || _runEnded)
+        return false;
+    Thread &t = *_threads[tid];
+    if (t.state != ThreadState::Blocked || t.retryFutex != kNoSync)
+        return false;
+    // The kernel lets the waiter through without a signal; the
+    // user-space retry loop re-checks and re-parks (see dispatch()).
+    // The wait-queue entry is kept so a genuine wake during the retry
+    // window is delivered through the pendingWake path.
+    SyncId f = t.blockedOn;
+    emit(SyncEventKind::FutexWake, t.id, f);
+    t.state = ThreadState::Ready;
+    t.blockedOn = kNoSync;
+    t.retryFutex = f;
+    _sched.enqueueReady(t.id);
+    requestFill();
+    return true;
 }
 
 void
@@ -551,6 +615,8 @@ System::run(Tick limit)
         if (_eq.executed() > _cfg.maxEvents)
             panic("event cap exceeded (%llu events) — runaway simulation?",
                   static_cast<unsigned long long>(_cfg.maxEvents));
+        if (_stopRequested)
+            break;
         if (limit != kTickNever && _eq.now() >= limit)
             break;
         if (!_eq.runOne())
@@ -560,9 +626,13 @@ System::run(Tick limit)
     RunResult res;
     res.finished = _runEnded;
     res.events = _eq.executed();
+    res.aborted = _stopRequested;
+    res.abortReason = _stopReason;
     const Thread &main = *_threads[_mainThread];
     res.totalTime = main.exitTick != kTickNever ? main.exitTick : _eq.now();
-    if (!_runEnded) {
+    if (_stopRequested) {
+        warn("run stopped early: %s", _stopReason.c_str());
+    } else if (!_runEnded) {
         warn("run ended without main thread exit (deadlock or limit); "
              "%zu threads blocked", _futexes.totalWaiters());
     }

@@ -34,6 +34,10 @@
 #include "uarch/dram.hh"
 #include "uarch/freq_domain.hh"
 
+namespace dvfs::fault {
+class FaultPlan;
+}
+
 namespace dvfs::os {
 
 /** Full machine configuration. */
@@ -99,6 +103,8 @@ struct RunResult {
     Tick totalTime = 0;        ///< tick at which the main thread exited
     bool finished = false;     ///< main thread exited before the limit
     std::uint64_t events = 0;  ///< events executed
+    bool aborted = false;      ///< a component requested an early stop
+    std::string abortReason;   ///< why (watchdog diagnostic, ...)
 };
 
 /**
@@ -165,6 +171,37 @@ class System
 
     /** Emit a GC phase marker into the trace (GcBegin / GcEnd). */
     void recordPhaseEvent(SyncEventKind kind);
+
+    /**
+     * Install a fault plan (nullable). Covers the DVFS, preemption and
+     * DRAM hook points; spurious-wake pumping is driven externally via
+     * injectSpuriousWake (see fault::installFaults).
+     */
+    void setFaultPlan(fault::FaultPlan *plan);
+
+    /** The installed fault plan, or nullptr. */
+    fault::FaultPlan *faultPlan() const { return _faultPlan; }
+
+    /**
+     * Deliver a spurious wakeup to @p tid: the thread gets a brief
+     * runnable episode and re-parks (user-space retry loop), keeping
+     * its wait-queue entry so genuine wakes are never lost.
+     *
+     * @return false if the thread is not currently Blocked.
+     */
+    bool injectSpuriousWake(ThreadId tid);
+
+    /**
+     * Ask the run loop to stop before the next event (watchdog /
+     * auditor escalation). The RunResult reports the reason.
+     */
+    void requestStop(std::string reason);
+
+    /** True once a stop was requested. */
+    bool stopRequested() const { return _stopRequested; }
+
+    /** True once the main thread exited. */
+    bool runEnded() const { return _runEnded; }
     /// @}
 
     /// @name Execution
@@ -291,6 +328,10 @@ class System
     bool _runEnded = false;
     bool _fillPending = false;
     Tick _frozenUntil = 0;
+
+    fault::FaultPlan *_faultPlan = nullptr;
+    bool _stopRequested = false;
+    std::string _stopReason;
 };
 
 } // namespace dvfs::os

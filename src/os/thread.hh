@@ -88,6 +88,17 @@ class Thread
     /** Futex the thread is parked on while Blocked. */
     SyncId blockedOn = kNoSync;
 
+    /**
+     * Set when the thread was spuriously woken: on its next dispatch
+     * it re-parks on this futex (the user-space retry loop) instead of
+     * consulting its program. The thread keeps its wait-queue entry,
+     * so a genuine wake during the retry window is never lost.
+     */
+    SyncId retryFutex = kNoSync;
+
+    /** Tick at which the thread last became Blocked (diagnostics). */
+    Tick blockedSince = kTickNever;
+
     /** Hardware counters, virtualized per thread by the OS. */
     uarch::PerfCounters counters;
 

@@ -62,7 +62,9 @@ GcWorkerProgram::next(os::ThreadContext &ctx)
             spec.chains.push_back(std::move(chain));
         }
         spec.overlapInstructions = cfg.traceOverlapInstructions;
-        if (++_traceClustersDone >= cfg.traceClustersPerUnit) {
+        const std::uint32_t clusters =
+            cfg.traceClustersPerUnit + _rt.gcInflateExtraClusters();
+        if (++_traceClustersDone >= clusters) {
             _traceClustersDone = 0;
             _state = State::Copy;
         }

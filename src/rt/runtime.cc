@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <memory>
 
+#include "fault/fault_plan.hh"
 #include "rt/gc_worker.hh"
 #include "sim/log.hh"
 
@@ -164,6 +165,8 @@ Runtime::maybeBeginCollection()
     _collections += 1;
     _gcBeginTick = _sys.now();
     _scanBytes = std::max<std::uint64_t>(_heap.nurseryUsed(), 64);
+    _inflateExtra =
+        _faultPlan ? _faultPlan->gcExtraClusters(_sys.now()) : 0;
 
     // Partition the surviving bytes over the workers.
     auto live = static_cast<std::uint64_t>(
@@ -185,6 +188,7 @@ Runtime::finishCollection()
     _heap.resetNursery();
     _gcTime += _sys.now() - _gcBeginTick;
     _phase = GcPhase::Idle;
+    _inflateExtra = 0;
     _sys.recordPhaseEvent(os::SyncEventKind::GcEnd);
     _sys.futexWakeAll(_gcStartFutex);
 }

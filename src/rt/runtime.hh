@@ -23,6 +23,10 @@
 #include "os/system.hh"
 #include "rt/heap.hh"
 
+namespace dvfs::fault {
+class FaultPlan;
+}
+
 namespace dvfs::rt {
 
 /** Runtime/GC configuration. */
@@ -98,6 +102,18 @@ class Runtime : public os::ActionInterceptor, public os::SyncListener
     Tick gcTime() const { return _gcTime; }
     bool gcActive() const { return _phase == GcPhase::Active; }
     const RuntimeConfig &config() const { return _cfg; }
+
+    /**
+     * Install a fault plan (nullable): collections may be inflated
+     * with extra trace work (fragmented heap, reference storms).
+     */
+    void setFaultPlan(fault::FaultPlan *plan) { _faultPlan = plan; }
+
+    /**
+     * Extra trace clusters per work unit for the collection in
+     * progress (0 unless a GC-inflation fault fired at its start).
+     */
+    std::uint32_t gcInflateExtraClusters() const { return _inflateExtra; }
     /// @}
 
     /// @name Interface for GC worker programs
@@ -161,6 +177,8 @@ class Runtime : public os::ActionInterceptor, public os::SyncListener
     Tick _gcTime = 0;
     std::uint32_t _collections = 0;
     std::uint64_t _scanBytes = 0;
+    fault::FaultPlan *_faultPlan = nullptr;
+    std::uint32_t _inflateExtra = 0;
 
     os::SyncId _gcStartFutex = os::kNoSync; ///< mutators park here
     os::SyncId _gcWorkFutex = os::kNoSync;  ///< workers park here

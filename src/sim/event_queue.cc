@@ -9,6 +9,18 @@ EventQueue::EventQueue()
 {
 }
 
+EventQueue::~EventQueue()
+{
+    // A run may end (main exit, requestStop) with events still
+    // scheduled; reclaim them and the freelist.
+    while (!_heap.empty()) {
+        delete _heap.top();
+        _heap.pop();
+    }
+    for (Entry *e : _pool)
+        delete e;
+}
+
 EventQueue::Entry *
 EventQueue::allocEntry()
 {

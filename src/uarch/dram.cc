@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "fault/fault_plan.hh"
 #include "sim/log.hh"
 
 namespace dvfs::uarch {
@@ -82,6 +83,14 @@ Dram::access(std::uint64_t addr, Tick issue, bool is_write)
     Tick t = issue + _tCtrl;
     t = queueAdmission(inflight, t);
 
+    // Injected maintenance blackout: the bank is unavailable for a
+    // while, on top of whatever it was already doing.
+    if (_faultPlan) {
+        Tick stall = _faultPlan->dramBankStall(issue);
+        if (stall > 0)
+            bank.freeAt = std::max(bank.freeAt, t) + stall;
+    }
+
     // Wait for the bank.
     t = std::max(t, bank.freeAt);
 
@@ -107,6 +116,12 @@ Dram::access(std::uint64_t addr, Tick issue, bool is_write)
     }
     if (!is_write)
         bank.openRow = row;
+
+    // Injected latency spike on the read path (ECC retry, refresh
+    // collision): delays the critical word and holds the bank through
+    // the retry.
+    if (_faultPlan && !is_write)
+        ready += _faultPlan->dramReadSpike(issue);
 
     // Data transfer occupies the per-direction bandwidth budget
     // (read-priority controller: buffered writes drain in gaps).

@@ -28,6 +28,10 @@
 #include "sim/stats.hh"
 #include "sim/time.hh"
 
+namespace dvfs::fault {
+class FaultPlan;
+}
+
 namespace dvfs::uarch {
 
 /** Configuration of the DRAM subsystem. */
@@ -87,6 +91,12 @@ class Dram
     /** Reset all bank/bus state (between independent runs). */
     void reset();
 
+    /**
+     * Install a fault plan (nullable): reads may see injected latency
+     * spikes, and banks may be stalled for maintenance blackouts.
+     */
+    void setFaultPlan(fault::FaultPlan *plan) { _faultPlan = plan; }
+
     /// @name Statistics
     /// @{
     std::uint64_t reads() const { return _reads.value(); }
@@ -141,6 +151,7 @@ class Dram
 
     DramConfig _cfg;
     std::vector<Channel> _channels;
+    fault::FaultPlan *_faultPlan = nullptr;
 
     Tick _tCas, _tRcd, _tRp, _tBurst, _tCtrl, _tWr;
 

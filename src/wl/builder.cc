@@ -20,6 +20,20 @@ buildBenchmark(const WorkloadParams &params, const os::SystemConfig &sys_cfg)
     if (params.appThreads == 0)
         fatal("benchmark '%s' needs at least one worker",
               params.name.c_str());
+    if (params.workItems == 0)
+        fatal("benchmark '%s' needs at least one work item",
+              params.name.c_str());
+    if (params.allocBytesPerItem > 0 && params.allocChunkBytes == 0)
+        fatal("benchmark '%s': allocChunkBytes must be positive when "
+              "items allocate", params.name.c_str());
+    if (params.lockProb < 0.0 || params.lockProb > 1.0 ||
+        params.pHot < 0.0 || params.pWarm < 0.0 ||
+        params.pHot + params.pWarm > 1.0)
+        fatal("benchmark '%s': probabilities must lie in [0,1]",
+              params.name.c_str());
+    if (params.lockProb > 0.0 && params.numLocks == 0)
+        fatal("benchmark '%s' takes locks but defines none",
+              params.name.c_str());
 
     BenchInstance inst;
     inst.sys = std::make_unique<os::System>(sys_cfg);

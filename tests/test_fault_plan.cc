@@ -1,0 +1,179 @@
+/**
+ * @file
+ * FaultPlan determinism: the whole point of the fault subsystem is
+ * that a schedule is a pure function of its seed, so these tests pin
+ * the replay contract down hard.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "fault/fault_plan.hh"
+
+using namespace dvfs;
+using namespace dvfs::fault;
+
+namespace {
+
+FaultConfig
+everythingOn(std::uint64_t seed)
+{
+    FaultConfig cfg;
+    cfg.seed = seed;
+    cfg.dramSpikeProb = 0.1;
+    cfg.dramBankStallProb = 0.05;
+    cfg.dvfsDelayProb = 0.5;
+    cfg.dvfsRejectProb = 0.3;
+    cfg.spuriousWakeMeanInterval = 5 * kTicksPerUs;
+    cfg.preemptProb = 0.2;
+    cfg.preemptMinSpacing = 0;
+    cfg.gcInflateProb = 0.8;
+    return cfg;
+}
+
+/** Drive every query with a fixed tick sequence; gather the results. */
+std::vector<std::uint64_t>
+drive(FaultPlan &plan, int rounds)
+{
+    std::vector<std::uint64_t> out;
+    Tick t = 0;
+    for (int i = 0; i < rounds; ++i) {
+        t += kTicksPerUs;
+        out.push_back(plan.dramReadSpike(t));
+        out.push_back(plan.dramBankStall(t));
+        out.push_back(plan.dvfsReject(t) ? 1 : 0);
+        out.push_back(plan.dvfsExtraDelay(t));
+        out.push_back(plan.preemptNow(t) ? 1 : 0);
+        out.push_back(plan.gcExtraClusters(t));
+        out.push_back(plan.nextSpuriousWakeDelay());
+        out.push_back(plan.pickVictim(7));
+    }
+    return out;
+}
+
+} // namespace
+
+TEST(FaultPlan, DefaultConfigInjectsNothing)
+{
+    FaultConfig cfg = FaultConfig::none();
+    EXPECT_FALSE(cfg.anyEnabled());
+
+    FaultPlan plan(cfg);
+    for (Tick t = 0; t < 100; ++t) {
+        EXPECT_EQ(plan.dramReadSpike(t), 0u);
+        EXPECT_EQ(plan.dramBankStall(t), 0u);
+        EXPECT_FALSE(plan.dvfsReject(t));
+        EXPECT_EQ(plan.dvfsExtraDelay(t), 0u);
+        EXPECT_FALSE(plan.preemptNow(t));
+        EXPECT_EQ(plan.gcExtraClusters(t), 0u);
+        EXPECT_EQ(plan.nextSpuriousWakeDelay(), 0u);
+    }
+    EXPECT_EQ(plan.totalInjected(), 0u);
+    EXPECT_TRUE(plan.trace().empty());
+}
+
+TEST(FaultPlan, SameSeedReplaysBitIdentically)
+{
+    FaultPlan a(everythingOn(99));
+    FaultPlan b(everythingOn(99));
+    EXPECT_EQ(drive(a, 500), drive(b, 500));
+    EXPECT_EQ(a.fingerprint(), b.fingerprint());
+    EXPECT_EQ(a.totalInjected(), b.totalInjected());
+    EXPECT_GT(a.totalInjected(), 0u);
+
+    std::ostringstream ta, tb;
+    a.writeTrace(ta);
+    b.writeTrace(tb);
+    EXPECT_EQ(ta.str(), tb.str());
+}
+
+TEST(FaultPlan, DifferentSeedDiverges)
+{
+    FaultPlan a(everythingOn(1));
+    FaultPlan b(everythingOn(2));
+    EXPECT_NE(drive(a, 500), drive(b, 500));
+    EXPECT_NE(a.fingerprint(), b.fingerprint());
+}
+
+TEST(FaultPlan, ClassStreamsAreIndependent)
+{
+    // Enabling an extra class must not perturb another class's
+    // schedule: each class draws from its own split stream.
+    FaultConfig spike_only;
+    spike_only.seed = 7;
+    spike_only.dramSpikeProb = 0.1;
+
+    FaultConfig spike_and_preempt = spike_only;
+    spike_and_preempt.preemptProb = 0.5;
+    spike_and_preempt.preemptMinSpacing = 0;
+
+    FaultPlan a(spike_only);
+    FaultPlan b(spike_and_preempt);
+
+    for (int i = 0; i < 1000; ++i) {
+        Tick t = static_cast<Tick>(i + 1) * kTicksPerUs;
+        // Interleave preempt queries on b only; spikes must agree.
+        b.preemptNow(t);
+        EXPECT_EQ(a.dramReadSpike(t), b.dramReadSpike(t));
+    }
+    EXPECT_GT(a.injected(FaultClass::DramLatencySpike), 0u);
+    EXPECT_EQ(a.injected(FaultClass::DramLatencySpike),
+              b.injected(FaultClass::DramLatencySpike));
+    EXPECT_GT(b.injected(FaultClass::PreemptJitter), 0u);
+}
+
+TEST(FaultPlan, OnlyEnablesExactlyOneClass)
+{
+    const FaultClass classes[] = {
+        FaultClass::DramLatencySpike, FaultClass::DramBankStall,
+        FaultClass::DvfsDelay,        FaultClass::DvfsReject,
+        FaultClass::SpuriousWake,     FaultClass::PreemptJitter,
+        FaultClass::GcInflation,
+    };
+    for (FaultClass c : classes) {
+        FaultConfig cfg = FaultConfig::only(c);
+        EXPECT_TRUE(cfg.anyEnabled()) << faultClassName(c);
+
+        // Count how many class knobs are on.
+        int on = 0;
+        on += cfg.dramSpikeProb > 0.0;
+        on += cfg.dramBankStallProb > 0.0;
+        on += cfg.dvfsDelayProb > 0.0;
+        on += cfg.dvfsRejectProb > 0.0;
+        on += cfg.spuriousWakeMeanInterval > 0;
+        on += cfg.preemptProb > 0.0;
+        on += cfg.gcInflateProb > 0.0;
+        EXPECT_EQ(on, 1) << faultClassName(c);
+    }
+}
+
+TEST(FaultPlan, PreemptSpacingIsHonoured)
+{
+    FaultConfig cfg;
+    cfg.preemptProb = 1.0;
+    cfg.preemptMinSpacing = 10 * kTicksPerUs;
+    FaultPlan plan(cfg);
+
+    EXPECT_TRUE(plan.preemptNow(kTicksPerUs));
+    // Inside the spacing window: always suppressed.
+    EXPECT_FALSE(plan.preemptNow(2 * kTicksPerUs));
+    EXPECT_FALSE(plan.preemptNow(10 * kTicksPerUs));
+    // Past the window: fires again.
+    EXPECT_TRUE(plan.preemptNow(12 * kTicksPerUs));
+}
+
+TEST(FaultPlanDeathTest, OutOfRangeProbabilityIsFatal)
+{
+    FaultConfig cfg;
+    cfg.dramSpikeProb = 1.5;
+    EXPECT_EXIT(FaultPlan{cfg}, ::testing::ExitedWithCode(1),
+                "probabilities");
+}
+
+TEST(FaultPlanDeathTest, VictimPickFromEmptySetPanics)
+{
+    FaultPlan plan(everythingOn(3));
+    EXPECT_DEATH(plan.pickVictim(0), "empty");
+}

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Scheduler precondition enforcement: every illegal transition must
+ * panic loudly instead of corrupting core-occupancy state.
+ */
+
+#include <gtest/gtest.h>
+
+#include "os/scheduler.hh"
+
+using namespace dvfs;
+using namespace dvfs::os;
+
+TEST(SchedulerPreconditions, AssignReleaseRoundTrip)
+{
+    Scheduler s(3);
+    EXPECT_EQ(s.freeCore(), 0);
+    s.assign(7, 1);
+    EXPECT_EQ(s.occupant(1), 7u);
+    EXPECT_EQ(s.busyCores(), 1u);
+    EXPECT_EQ(s.freeCore(), 0);
+    s.release(1);
+    EXPECT_EQ(s.occupant(1), kNoThread);
+    EXPECT_EQ(s.busyCores(), 0u);
+}
+
+TEST(SchedulerPreconditionsDeathTest, AssignOutOfRangePanics)
+{
+    Scheduler s(2);
+    EXPECT_DEATH(s.assign(1, 2), "out of range");
+}
+
+TEST(SchedulerPreconditionsDeathTest, ReleaseOutOfRangePanics)
+{
+    Scheduler s(2);
+    EXPECT_DEATH(s.release(5), "out of range");
+}
+
+TEST(SchedulerPreconditionsDeathTest, AssignToOccupiedCorePanics)
+{
+    Scheduler s(2);
+    s.assign(1, 0);
+    EXPECT_DEATH(s.assign(2, 0), "occupied");
+}
+
+TEST(SchedulerPreconditionsDeathTest, ReleaseFreeCorePanics)
+{
+    Scheduler s(2);
+    EXPECT_DEATH(s.release(0), "free");
+}
+
+TEST(SchedulerPreconditionsDeathTest, AssignNoThreadPanics)
+{
+    Scheduler s(1);
+    EXPECT_DEATH(s.assign(kNoThread, 0), "no-thread");
+}
+
+TEST(SchedulerPreconditionsDeathTest, EnqueueNoThreadPanics)
+{
+    Scheduler s(1);
+    EXPECT_DEATH(s.enqueueReady(kNoThread), "no-thread");
+}
+
+TEST(SchedulerPreconditionsDeathTest, ZeroCoresIsFatal)
+{
+    EXPECT_EXIT(Scheduler(0), ::testing::ExitedWithCode(1),
+                "at least one core");
+}
