@@ -9,7 +9,11 @@
  * estimator, with and without BURST, plus the simulator's oracle
  * non-scaling counter as the ceiling.
  *
+ * Ground truth (benchmark x {1 GHz, 4 GHz}) runs once on the sweep
+ * engine and serves both directions.
+ *
  * Usage: ablation_estimators [--dir=up|down|both] [--only=<name>]
+ *                            [--workers=N] [--progress]
  */
 
 #include <iostream>
@@ -17,7 +21,7 @@
 #include <vector>
 
 #include "bench_util.hh"
-#include "exp/experiment.hh"
+#include "exp/sweep/sweep.hh"
 #include "exp/table.hh"
 #include "pred/predictors.hh"
 
@@ -28,7 +32,7 @@ namespace {
 
 void
 runDirection(const char *label, Frequency base, Frequency target,
-             const std::string &only)
+             const exp::sweep::SweepResult &res)
 {
     const std::vector<ModelSpec> specs = {
         {BaseEstimator::StallTime, false},
@@ -47,11 +51,10 @@ runDirection(const char *label, Frequency base, Frequency target,
     exp::Table table(headers);
 
     std::map<std::string, std::vector<double>> errs;
-    for (const auto &params : wl::dacapoSuite()) {
-        if (!only.empty() && params.name != only)
-            continue;
-        auto base_run = exp::runFixed(params, base);
-        Tick actual = exp::runFixed(params, target).totalTime;
+    for (std::size_t w = 0; w < res.spec.workloads.size(); ++w) {
+        const auto &params = res.spec.workloads[w];
+        const auto &base_run = res.at(w, base);
+        Tick actual = res.at(w, target).totalTime;
 
         std::vector<std::string> row = {params.name};
         for (const auto &s : specs) {
@@ -84,12 +87,29 @@ main(int argc, char **argv)
     const std::string dir = args.get("dir", "both");
     const std::string only = args.get("only");
 
+    exp::sweep::SweepSpec spec;
+    for (const auto &params : wl::dacapoSuite()) {
+        if (only.empty() || params.name == only)
+            spec.workloads.push_back(params);
+    }
+    if (spec.workloads.empty()) {
+        std::cerr << "no benchmark matches --only=" << only << "\n";
+        return 1;
+    }
+    spec.frequencies = {Frequency::ghz(1.0), Frequency::ghz(4.0)};
+
+    exp::sweep::SweepRunner::Options opts;
+    opts.workers = bench::sweepWorkers(args);
+    opts.progress = args.has("progress");
+    opts.label = "ablation";
+    auto res = exp::sweep::SweepRunner(std::move(spec), opts).run();
+
     if (dir == "up" || dir == "both")
         runDirection("low-to-high", Frequency::ghz(1.0),
-                     Frequency::ghz(4.0), only);
+                     Frequency::ghz(4.0), res);
     if (dir == "down" || dir == "both")
         runDirection("high-to-low", Frequency::ghz(4.0),
-                     Frequency::ghz(1.0), only);
+                     Frequency::ghz(1.0), res);
 
     std::cout << "\nExpected ladder (paper Section II-A): STALL "
                  "underestimates the non-scaling\ncomponent (work "

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Append-only JSON-lines perf trajectory (BENCH_sweep.json).
+ *
+ * Every sweep-capable bench appends one self-contained JSON record per
+ * measured configuration, so repeated runs accumulate a performance
+ * trajectory over time instead of overwriting each other. The schema
+ * (dvfs-sweep-bench-v1) is documented in EXPERIMENTS.md.
+ */
+
+#ifndef DVFS_BENCH_BENCH_JSON_HH
+#define DVFS_BENCH_BENCH_JSON_HH
+
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+
+namespace dvfs::bench {
+
+/** One BENCH_sweep.json record under construction. */
+class SweepJsonRecord
+{
+  public:
+    /**
+     * @param bench Emitting binary, e.g. "sweep_bench".
+     * @param run   Configuration label, e.g. "workers=4".
+     */
+    SweepJsonRecord(const std::string &bench, const std::string &run)
+    {
+        _os << "{\"schema\":\"dvfs-sweep-bench-v1\""
+            << ",\"bench\":\"" << bench << "\""
+            << ",\"run\":\"" << run << "\"";
+        unsigned hw = std::thread::hardware_concurrency();
+        add("hardware_threads", static_cast<std::uint64_t>(hw ? hw : 1));
+        auto now = std::chrono::system_clock::now().time_since_epoch();
+        add("timestamp_unix",
+            static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::seconds>(now)
+                    .count()));
+    }
+
+    SweepJsonRecord &
+    add(const std::string &key, std::uint64_t v)
+    {
+        _os << ",\"" << key << "\":" << v;
+        return *this;
+    }
+
+    SweepJsonRecord &
+    add(const std::string &key, double v)
+    {
+        _os << ",\"" << key << "\":" << v;
+        return *this;
+    }
+
+    /** Add a 64-bit fingerprint as a hex string (JSON-safe). */
+    SweepJsonRecord &
+    addHex(const std::string &key, std::uint64_t v)
+    {
+        _os << ",\"" << key << "\":\"0x" << std::hex << v << std::dec
+            << "\"";
+        return *this;
+    }
+
+    /** Append the finished record as one line of @p path. */
+    void
+    appendTo(const std::string &path) const
+    {
+        std::ofstream f(path, std::ios::app);
+        f << _os.str() << "}\n";
+    }
+
+  private:
+    std::ostringstream _os;
+};
+
+} // namespace dvfs::bench
+
+#endif // DVFS_BENCH_BENCH_JSON_HH

@@ -10,6 +10,8 @@
 #include <string>
 #include <vector>
 
+#include "exp/sweep/pool.hh"
+
 namespace dvfs::bench {
 
 /** Minimal flag parser: --key=value and boolean --key. */
@@ -62,6 +64,18 @@ class Args
   private:
     std::vector<std::string> _args;
 };
+
+/**
+ * Sweep pool width for a harness binary: --workers=N if given, else
+ * DVFS_SWEEP_WORKERS / hardware_concurrency via defaultWorkers().
+ */
+inline unsigned
+sweepWorkers(const Args &args)
+{
+    long v = args.getInt("workers", 0);
+    return v >= 1 ? static_cast<unsigned>(v)
+                  : exp::sweep::defaultWorkers();
+}
 
 } // namespace dvfs::bench
 

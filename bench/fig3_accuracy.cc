@@ -14,7 +14,14 @@
  * absolute error across benchmarks — the paper's headline metric
  * (6% for DEP+BURST at 4 GHz from 1 GHz; 27% for M+CRIT).
  *
+ * The (benchmark x frequency) ground-truth grid runs on the sweep
+ * engine — both directions share the same four operating points, so
+ * each cell is simulated exactly once and cells run concurrently.
+ * Results are aggregated by cell index, so the tables are identical
+ * at any worker count.
+ *
  * Usage: fig3_accuracy [--dir=up|down|both] [--only=<benchmark>]
+ *                      [--workers=N] [--progress]
  */
 
 #include <iostream>
@@ -22,7 +29,7 @@
 #include <vector>
 
 #include "bench_util.hh"
-#include "exp/experiment.hh"
+#include "exp/sweep/sweep.hh"
 #include "exp/table.hh"
 #include "pred/predictors.hh"
 
@@ -37,7 +44,7 @@ struct Direction {
 };
 
 void
-runDirection(const Direction &dir, const std::string &only)
+runDirection(const Direction &dir, const exp::sweep::SweepResult &res)
 {
     std::cout << "\nFigure 3 (" << dir.label
               << "): base " << dir.base.toString() << "\n\n";
@@ -53,14 +60,13 @@ runDirection(const Direction &dir, const std::string &only)
         headers.push_back("err @" + t.toString());
     exp::Table table(headers);
 
-    for (const auto &params : wl::dacapoSuite()) {
-        if (!only.empty() && params.name != only)
-            continue;
+    for (std::size_t w = 0; w < res.spec.workloads.size(); ++w) {
+        const auto &params = res.spec.workloads[w];
 
-        auto base_run = exp::runFixed(params, dir.base);
+        const auto &base_run = res.at(w, dir.base);
         std::map<std::uint32_t, Tick> actual;
         for (auto t : dir.targets)
-            actual[t.toMHz()] = exp::runFixed(params, t).totalTime;
+            actual[t.toMHz()] = res.at(w, t).totalTime;
 
         bool first = true;
         for (const auto &p : predictors) {
@@ -107,9 +113,29 @@ main(int argc, char **argv)
                    {Frequency::ghz(3.0), Frequency::ghz(2.0),
                     Frequency::ghz(1.0)}};
 
+    // Both directions read the same four operating points, so one
+    // sweep covers them (the serial harness simulated each twice).
+    exp::sweep::SweepSpec spec;
+    for (const auto &params : wl::dacapoSuite()) {
+        if (only.empty() || params.name == only)
+            spec.workloads.push_back(params);
+    }
+    if (spec.workloads.empty()) {
+        std::cerr << "no benchmark matches --only=" << only << "\n";
+        return 1;
+    }
+    spec.frequencies = {Frequency::ghz(1.0), Frequency::ghz(2.0),
+                        Frequency::ghz(3.0), Frequency::ghz(4.0)};
+
+    exp::sweep::SweepRunner::Options opts;
+    opts.workers = bench::sweepWorkers(args);
+    opts.progress = args.has("progress");
+    opts.label = "fig3";
+    auto res = exp::sweep::SweepRunner(std::move(spec), opts).run();
+
     if (dir == "up" || dir == "both")
-        runDirection(up, only);
+        runDirection(up, res);
     if (dir == "down" || dir == "both")
-        runDirection(down, only);
+        runDirection(down, res);
     return 0;
 }

@@ -9,8 +9,13 @@
  * reference: memory-intensive average savings of 13% (5% threshold)
  * and 19% (10% threshold), with achieved slowdowns near the targets.
  *
+ * Both grids — the fixed baselines and the (benchmark x threshold)
+ * managed runs — execute on the sweep engine; managed cells aggregate
+ * by index, so the table is identical at any worker count.
+ *
  * Usage: fig6_energy_manager [--only=<name>] [--quantum-us=50]
  *                            [--thresholds=0.05,0.10]
+ *                            [--workers=N] [--progress]
  */
 
 #include <iostream>
@@ -18,7 +23,7 @@
 #include <vector>
 
 #include "bench_util.hh"
-#include "exp/experiment.hh"
+#include "exp/sweep/sweep.hh"
 #include "exp/table.hh"
 
 using namespace dvfs;
@@ -40,6 +45,40 @@ main(int argc, char **argv)
     }
 
     auto table_vf = power::VfTable::haswell();
+    const unsigned workers = bench::sweepWorkers(args);
+    const bool progress = args.has("progress");
+
+    // Fixed baselines: every benchmark at the highest operating point.
+    exp::sweep::SweepSpec base_spec;
+    for (const auto &params : wl::dacapoSuite()) {
+        if (only.empty() || params.name == only)
+            base_spec.workloads.push_back(params);
+    }
+    if (base_spec.workloads.empty()) {
+        std::cerr << "no benchmark matches --only=" << only << "\n";
+        return 1;
+    }
+    base_spec.frequencies = {table_vf.highest()};
+
+    exp::sweep::SweepRunner::Options ro;
+    ro.workers = workers;
+    ro.progress = progress;
+    ro.label = "fig6 baselines";
+    auto baselines = exp::sweep::SweepRunner(base_spec, ro).run();
+
+    // Managed cells: (benchmark x threshold), threshold innermost,
+    // matching the serial harness's loop nest.
+    const auto &wls = baselines.spec.workloads;
+    const std::size_t n_cells = wls.size() * thresholds.size();
+    auto managed = exp::sweep::sweepMap<exp::ManagedRunOutput>(
+        n_cells, workers, [&](std::size_t i) {
+            mgr::ManagerConfig mc;
+            mc.quantum = quantum;
+            mc.holdOff = 1;
+            mc.tolerableSlowdown = thresholds[i % thresholds.size()];
+            return exp::runManaged(wls[i / thresholds.size()], mc,
+                                   table_vf);
+        });
 
     std::cout << "Figure 6: energy manager (DEP+BURST, quantum "
               << ticksToUs(quantum) << " us scaled = "
@@ -57,20 +96,14 @@ main(int argc, char **argv)
     std::vector<std::vector<double>> mem_sav(thresholds.size());
     std::vector<std::vector<double>> cpu_sav(thresholds.size());
 
-    for (const auto &params : wl::dacapoSuite()) {
-        if (!only.empty() && params.name != only)
-            continue;
-
-        auto baseline = exp::runFixed(params, table_vf.highest());
+    for (std::size_t w = 0; w < wls.size(); ++w) {
+        const auto &params = wls[w];
+        const auto &baseline = baselines.at(w, std::size_t{0});
 
         std::vector<std::string> row = {params.name,
                                         params.memoryIntensive ? "M" : "C"};
         for (std::size_t i = 0; i < thresholds.size(); ++i) {
-            mgr::ManagerConfig mc;
-            mc.quantum = quantum;
-            mc.holdOff = 1;
-            mc.tolerableSlowdown = thresholds[i];
-            auto out = exp::runManaged(params, mc, table_vf);
+            const auto &out = managed[w * thresholds.size() + i];
 
             double slowdown = static_cast<double>(out.totalTime) /
                                   static_cast<double>(baseline.totalTime) -

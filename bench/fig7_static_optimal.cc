@@ -12,15 +12,19 @@
  * ones, because it exploits phase behaviour (GC phases tolerate lower
  * frequency).
  *
+ * The oracle's (benchmark x operating point) grid — the most expensive
+ * sweep in the repository — and the per-benchmark managed runs both
+ * execute on the sweep engine.
+ *
  * Usage: fig7_static_optimal [--threshold=0.10] [--step-mhz=250]
- *                            [--only=<name>]
+ *                            [--only=<name>] [--workers=N] [--progress]
  */
 
 #include <iostream>
 #include <vector>
 
 #include "bench_util.hh"
-#include "exp/experiment.hh"
+#include "exp/sweep/sweep.hh"
 #include "exp/table.hh"
 
 using namespace dvfs;
@@ -37,6 +41,38 @@ main(int argc, char **argv)
     auto fine_vf = power::VfTable::haswell();          // manager: 125 MHz
     auto sweep_vf = power::VfTable::haswell(step);     // oracle sweep
 
+    const unsigned workers = bench::sweepWorkers(args);
+    const bool progress = args.has("progress");
+
+    // Oracle grid: every benchmark at every sweep operating point
+    // (the highest doubles as the baseline).
+    exp::sweep::SweepSpec spec;
+    for (const auto &params : wl::dacapoSuite()) {
+        if (only.empty() || params.name == only)
+            spec.workloads.push_back(params);
+    }
+    if (spec.workloads.empty()) {
+        std::cerr << "no benchmark matches --only=" << only << "\n";
+        return 1;
+    }
+    for (const auto &p : sweep_vf.points())
+        spec.frequencies.push_back(p.freq);
+
+    exp::sweep::SweepRunner::Options ro;
+    ro.workers = workers;
+    ro.progress = progress;
+    ro.label = "fig7 oracle";
+    auto grid = exp::sweep::SweepRunner(spec, ro).run();
+
+    // Dynamic manager, one run per benchmark.
+    const auto &wls = grid.spec.workloads;
+    auto dynamic = exp::sweep::sweepMap<exp::ManagedRunOutput>(
+        wls.size(), workers, [&](std::size_t w) {
+            mgr::ManagerConfig mc;
+            mc.tolerableSlowdown = threshold;
+            return exp::runManaged(wls[w], mc, fine_vf);
+        });
+
     std::cout << "Figure 7: dynamic manager vs static-optimal oracle, "
               << "threshold " << exp::Table::pct(threshold, 0)
               << " (oracle sweep step " << step << " MHz)\n\n";
@@ -47,21 +83,19 @@ main(int argc, char **argv)
     double mem_delta_sum = 0.0;
     std::uint32_t mem_count = 0;
 
-    for (const auto &params : wl::dacapoSuite()) {
-        if (!only.empty() && params.name != only)
-            continue;
-
-        auto baseline = exp::runFixed(params, sweep_vf.highest());
+    for (std::size_t w = 0; w < wls.size(); ++w) {
+        const auto &params = wls[w];
+        const auto &baseline = grid.at(w, sweep_vf.highest());
         const double limit =
             static_cast<double>(baseline.totalTime) * (1.0 + threshold);
 
-        // Oracle sweep (skip the highest point: zero savings there).
+        // Oracle pick (skip the highest point: zero savings there).
         Frequency best_freq = sweep_vf.highest();
         double best_energy = baseline.energy.total();
         for (const auto &p : sweep_vf.points()) {
             if (p.freq == sweep_vf.highest())
                 continue;
-            auto out = exp::runFixed(params, p.freq);
+            const auto &out = grid.at(w, p.freq);
             if (static_cast<double>(out.totalTime) <= limit &&
                 out.energy.total() < best_energy) {
                 best_energy = out.energy.total();
@@ -70,9 +104,7 @@ main(int argc, char **argv)
         }
         double static_saved = 1.0 - best_energy / baseline.energy.total();
 
-        mgr::ManagerConfig mc;
-        mc.tolerableSlowdown = threshold;
-        auto dyn = exp::runManaged(params, mc, fine_vf);
+        const auto &dyn = dynamic[w];
         double dyn_saved = 1.0 - dyn.energy.total() /
                                      baseline.energy.total();
 

@@ -8,7 +8,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+
+#include "bench_json.hh"
 #include "exp/experiment.hh"
+#include "exp/sweep/fingerprint.hh"
+#include "exp/sweep/sweep.hh"
 #include "sim/event_queue.hh"
 #include "sim/rng.hh"
 #include "uarch/cache.hh"
@@ -100,4 +105,93 @@ BM_FullRunDacapo(benchmark::State &state)
 }
 BENCHMARK(BM_FullRunDacapo);
 
-BENCHMARK_MAIN();
+/** Sweep-engine overhead: a grid of tiny synthetic runs per worker count. */
+static void
+BM_SweepSynthetic(benchmark::State &state)
+{
+    const auto workers = static_cast<unsigned>(state.range(0));
+    exp::sweep::SweepSpec spec;
+    spec.workloads = {wl::syntheticSmall(2, 40)};
+    spec.frequencies = {Frequency::ghz(1.0), Frequency::ghz(2.0),
+                        Frequency::ghz(3.0), Frequency::ghz(4.0)};
+    spec.seeds = exp::sweep::SweepSpec::replicateSeeds(42, 4);
+
+    exp::sweep::SweepRunner::Options ro;
+    ro.workers = workers;
+    for (auto _ : state) {
+        auto res = exp::sweep::SweepRunner(spec, ro).run();
+        benchmark::DoNotOptimize(res.cells.front().totalTime);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(spec.cellCount()));
+    state.SetLabel("items = sweep cells");
+}
+BENCHMARK(BM_SweepSynthetic)->Arg(1)->Arg(2)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+namespace {
+
+/**
+ * Direct wall-clock measurement of the synthetic sweep grid at one
+ * worker count, appended to BENCH_sweep.json after the
+ * google-benchmark run (google-benchmark's console/JSON reporters are
+ * either/or; the trajectory file needs append semantics).
+ */
+void
+appendSweepRecord(unsigned workers, double serial_ms, double wall_ms,
+                  std::uint64_t digest, std::size_t cells)
+{
+    dvfs::bench::SweepJsonRecord rec(
+        "micro_simulator", "synthetic workers=" + std::to_string(workers));
+    rec.add("workers", static_cast<std::uint64_t>(workers))
+        .add("cells", static_cast<std::uint64_t>(cells))
+        .add("wall_ms", wall_ms)
+        .add("cells_per_sec",
+             static_cast<double>(cells) / (wall_ms / 1000.0))
+        .add("speedup_vs_serial", serial_ms / wall_ms)
+        .addHex("fingerprint", digest);
+    rec.appendTo("BENCH_sweep.json");
+}
+
+void
+emitSweepTrajectory()
+{
+    exp::sweep::SweepSpec spec;
+    spec.workloads = {wl::syntheticSmall(2, 40)};
+    spec.frequencies = {Frequency::ghz(1.0), Frequency::ghz(2.0),
+                        Frequency::ghz(3.0), Frequency::ghz(4.0)};
+    spec.seeds = exp::sweep::SweepSpec::replicateSeeds(42, 4);
+    const std::size_t cells = spec.cellCount();
+
+    double serial_ms = 0.0;
+    for (unsigned workers : {1u, 2u, 8u}) {
+        exp::sweep::SweepRunner::Options ro;
+        ro.workers = workers;
+        auto t0 = std::chrono::steady_clock::now();
+        auto res = exp::sweep::SweepRunner(spec, ro).run();
+        auto t1 = std::chrono::steady_clock::now();
+        double ms =
+            std::chrono::duration<double, std::milli>(t1 - t0).count();
+        if (workers == 1)
+            serial_ms = ms;
+
+        exp::sweep::Fnv1a h;
+        for (const auto &cell : res.cells)
+            h.mix(exp::sweep::fingerprintRun(cell));
+        appendSweepRecord(workers, serial_ms, ms, h.digest(), cells);
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    emitSweepTrajectory();
+    return 0;
+}

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Sweep-engine scaling benchmark and determinism self-check.
+ *
+ * Runs one fig3-style ground-truth grid (benchmarks x operating
+ * points x seeds) serially and then at several worker counts, checks
+ * that every configuration produces bit-identical per-cell
+ * fingerprints, and reports wall time, throughput and speedup. Each
+ * measured configuration appends one dvfs-sweep-bench-v1 record to
+ * BENCH_sweep.json (see EXPERIMENTS.md), building a perf trajectory
+ * across commits.
+ *
+ * Exit status is nonzero if any parallel run's fingerprint deviates
+ * from the serial reference — this binary doubles as a cheap
+ * end-to-end determinism check for CI.
+ *
+ * Usage: sweep_bench [--benchmarks=4] [--seeds=1] [--workers=N]
+ *                    [--json=BENCH_sweep.json] [--progress]
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "bench_json.hh"
+#include "bench_util.hh"
+#include "exp/sweep/fingerprint.hh"
+#include "exp/sweep/sweep.hh"
+#include "exp/table.hh"
+
+using namespace dvfs;
+
+namespace {
+
+/** Combined digest: mix every cell's fingerprint in index order. */
+std::uint64_t
+gridDigest(const exp::sweep::SweepResult &res)
+{
+    exp::sweep::Fnv1a h;
+    for (const auto &cell : res.cells)
+        h.mix(exp::sweep::fingerprintRun(cell));
+    return h.digest();
+}
+
+struct Measurement {
+    unsigned workers;
+    double wallMs;
+    std::uint64_t digest;
+};
+
+Measurement
+measure(const exp::sweep::SweepSpec &spec, unsigned workers, bool progress)
+{
+    exp::sweep::SweepRunner::Options ro;
+    ro.workers = workers;
+    ro.progress = progress;
+    ro.label = "sweep_bench w=" + std::to_string(workers);
+
+    auto t0 = std::chrono::steady_clock::now();
+    auto res = exp::sweep::SweepRunner(spec, ro).run();
+    auto t1 = std::chrono::steady_clock::now();
+
+    Measurement m;
+    m.workers = workers;
+    m.wallMs = std::chrono::duration<double, std::milli>(t1 - t0).count();
+    m.digest = gridDigest(res);
+    return m;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::Args args(argc, argv);
+    const auto n_bench =
+        static_cast<std::size_t>(args.getInt("benchmarks", 4));
+    const auto n_seeds = static_cast<std::size_t>(args.getInt("seeds", 1));
+    const std::string json_path = args.get("json", "BENCH_sweep.json");
+    const bool progress = args.has("progress");
+    const unsigned requested = bench::sweepWorkers(args);
+
+    exp::sweep::SweepSpec spec;
+    for (const auto &params : wl::dacapoSuite()) {
+        if (spec.workloads.size() >= n_bench)
+            break;
+        spec.workloads.push_back(params);
+    }
+    spec.frequencies = {Frequency::ghz(1.0), Frequency::ghz(2.0),
+                        Frequency::ghz(3.0), Frequency::ghz(4.0)};
+    spec.seeds = exp::sweep::SweepSpec::replicateSeeds(42, n_seeds);
+
+    const std::size_t cells = spec.cellCount();
+    unsigned hw = std::thread::hardware_concurrency();
+    if (hw == 0)
+        hw = 1;
+
+    std::cout << "sweep_bench: " << spec.workloads.size()
+              << " benchmarks x " << spec.frequencies.size()
+              << " frequencies x " << spec.seeds.size() << " seeds = "
+              << cells << " cells, " << hw << " hardware threads\n\n";
+
+    // Worker counts to measure: serial reference first, then powers
+    // of two up to the hardware width, then the requested count.
+    std::vector<unsigned> counts = {1};
+    for (unsigned w = 2; w <= hw; w *= 2)
+        counts.push_back(w);
+    if (hw > 1 && counts.back() != hw)
+        counts.push_back(hw);
+    if (requested > 1 &&
+        std::find(counts.begin(), counts.end(), requested) == counts.end())
+        counts.push_back(requested);
+
+    std::vector<Measurement> runs;
+    for (unsigned w : counts)
+        runs.push_back(measure(spec, w, progress));
+    const Measurement &serial = runs.front();
+
+    exp::Table table(
+        {"workers", "wall ms", "cells/s", "speedup", "fingerprint"});
+    bool mismatch = false;
+    for (const auto &m : runs) {
+        bool ok = m.digest == serial.digest;
+        mismatch = mismatch || !ok;
+
+        double cells_s = static_cast<double>(cells) / (m.wallMs / 1000.0);
+        char fp[32];
+        std::snprintf(fp, sizeof(fp), "0x%016llx%s",
+                      static_cast<unsigned long long>(m.digest),
+                      ok ? "" : " MISMATCH");
+        table.addRow({std::to_string(m.workers),
+                      exp::Table::fmt(m.wallMs, 1),
+                      exp::Table::fmt(cells_s, 2),
+                      exp::Table::fmt(serial.wallMs / m.wallMs, 2), fp});
+
+        bench::SweepJsonRecord rec("sweep_bench",
+                                   "workers=" + std::to_string(m.workers));
+        rec.add("workers", static_cast<std::uint64_t>(m.workers))
+            .add("cells", static_cast<std::uint64_t>(cells))
+            .add("wall_ms", m.wallMs)
+            .add("cells_per_sec", cells_s)
+            .add("speedup_vs_serial", serial.wallMs / m.wallMs)
+            .addHex("fingerprint", m.digest)
+            .add("fingerprint_matches_serial",
+                 static_cast<std::uint64_t>(ok ? 1 : 0));
+        rec.appendTo(json_path);
+    }
+    table.print(std::cout);
+    std::cout << "\nappended " << runs.size() << " records to "
+              << json_path << "\n";
+
+    if (mismatch) {
+        std::cerr << "sweep_bench: FINGERPRINT MISMATCH — parallel "
+                     "execution is not bit-identical to serial\n";
+        return 1;
+    }
+    std::cout << "all fingerprints match the serial reference\n";
+    return 0;
+}

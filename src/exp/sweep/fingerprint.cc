@@ -1,0 +1,108 @@
+#include "exp/sweep/fingerprint.hh"
+
+#include "exp/experiment.hh"
+
+namespace dvfs::exp::sweep {
+
+namespace {
+
+void
+mixCounters(Fnv1a &h, const uarch::PerfCounters &c)
+{
+    h.mix(c.busyTime);
+    h.mix(c.instructions);
+    h.mix(c.critNonscaling);
+    h.mix(c.leadingNonscaling);
+    h.mix(c.stallNonscaling);
+    h.mix(c.sqFullTime);
+    h.mix(c.trueMemTime);
+    h.mix(c.computeTime);
+    h.mix(c.l1Hits);
+    h.mix(c.l2Hits);
+    h.mix(c.l3Hits);
+    h.mix(c.dramLoads);
+    h.mix(c.missClusters);
+    h.mix(c.storeBursts);
+    h.mix(c.storeLines);
+}
+
+void
+mixRecord(Fnv1a &h, const pred::RunRecord &rec)
+{
+    h.mix(rec.baseFreq.toMHz());
+    h.mix(rec.totalTime);
+    h.mix(rec.epochs.size());
+    for (const auto &e : rec.epochs) {
+        h.mix(e.start);
+        h.mix(e.end);
+        h.mix(static_cast<std::uint64_t>(e.boundary));
+        h.mix(static_cast<std::uint64_t>(e.stallTid));
+        h.mix(e.active.size());
+        for (const auto &t : e.active) {
+            h.mix(static_cast<std::uint64_t>(t.tid));
+            mixCounters(h, t.delta);
+        }
+    }
+    h.mix(rec.threads.size());
+    for (const auto &t : rec.threads) {
+        h.mix(static_cast<std::uint64_t>(t.tid));
+        h.mix(t.service ? 1 : 0);
+        h.mix(t.spawnTick);
+        h.mix(t.exitTick);
+        mixCounters(h, t.totals);
+    }
+    h.mix(rec.gcMarks.size());
+    for (const auto &m : rec.gcMarks) {
+        h.mix(m.tick);
+        h.mix(m.begin ? 1 : 0);
+    }
+}
+
+void
+mixEnergy(Fnv1a &h, const power::EnergyBreakdown &e)
+{
+    h.mixDouble(e.coreDynamic);
+    h.mixDouble(e.coreStatic);
+    h.mixDouble(e.uncore);
+    h.mixDouble(e.dram);
+}
+
+} // namespace
+
+std::uint64_t
+fingerprintRun(const FixedRunOutput &out)
+{
+    Fnv1a h;
+    h.mix(out.freq.toMHz());
+    h.mix(out.totalTime);
+    h.mix(out.events);
+    h.mix(out.collections);
+    h.mix(out.gcTime);
+    h.mix(out.allocatedBytes);
+    mixCounters(h, out.totals);
+    mixEnergy(h, out.energy);
+    mixRecord(h, out.record);
+    return h.digest();
+}
+
+std::uint64_t
+fingerprintRun(const ManagedRunOutput &out)
+{
+    Fnv1a h;
+    h.mix(out.totalTime);
+    h.mix(out.collections);
+    h.mix(out.transitions);
+    h.mixDouble(out.averageGHz);
+    mixEnergy(h, out.energy);
+    h.mix(out.decisions.size());
+    for (const auto &d : out.decisions) {
+        h.mix(d.tick);
+        h.mix(d.chosen.toMHz());
+        h.mixDouble(d.predictedSlowdown);
+        h.mix(d.usedEpochs ? 1 : 0);
+        h.mix(d.fallback ? 1 : 0);
+    }
+    return h.digest();
+}
+
+} // namespace dvfs::exp::sweep

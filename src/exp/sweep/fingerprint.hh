@@ -1,0 +1,77 @@
+/**
+ * @file
+ * FNV-1a fingerprints of run outputs — the sweep's replay witness.
+ *
+ * A fingerprint digests everything a sweep cell observably produced
+ * (total time, epoch decomposition, per-thread counters, energy, GC
+ * activity) into one 64-bit value, the same scheme fault::FaultPlan
+ * uses for its trace. Two runs with equal fingerprints produced
+ * bit-identical records, so the golden-trace tests can assert that a
+ * parallel sweep is indistinguishable from the serial one with a
+ * single comparison per cell.
+ */
+
+#ifndef DVFS_EXP_SWEEP_FINGERPRINT_HH
+#define DVFS_EXP_SWEEP_FINGERPRINT_HH
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace dvfs::exp {
+struct FixedRunOutput;
+struct ManagedRunOutput;
+}
+
+namespace dvfs::exp::sweep {
+
+/** Incremental FNV-1a hasher over 64-bit words. */
+class Fnv1a
+{
+  public:
+    /** Fold a 64-bit word into the digest, byte by byte. */
+    void
+    mix(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i) {
+            _h ^= (v >> (i * 8)) & 0xff;
+            _h *= 0x100000001b3ULL;
+        }
+    }
+
+    /** Fold a double via its bit pattern (exact, not rounded). */
+    void
+    mixDouble(double v)
+    {
+        std::uint64_t bits;
+        static_assert(sizeof(bits) == sizeof(v));
+        std::memcpy(&bits, &v, sizeof(bits));
+        mix(bits);
+    }
+
+    /** Fold a string (length then bytes). */
+    void
+    mixString(const std::string &s)
+    {
+        mix(s.size());
+        for (unsigned char c : s) {
+            _h ^= c;
+            _h *= 0x100000001b3ULL;
+        }
+    }
+
+    std::uint64_t digest() const { return _h; }
+
+  private:
+    std::uint64_t _h = 0xcbf29ce484222325ULL;
+};
+
+/** Digest of one fixed-frequency ground-truth run. */
+std::uint64_t fingerprintRun(const FixedRunOutput &out);
+
+/** Digest of one energy-manager-governed run. */
+std::uint64_t fingerprintRun(const ManagedRunOutput &out);
+
+} // namespace dvfs::exp::sweep
+
+#endif // DVFS_EXP_SWEEP_FINGERPRINT_HH

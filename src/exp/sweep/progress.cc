@@ -1,0 +1,59 @@
+#include "exp/sweep/progress.hh"
+
+#include "sim/log.hh"
+
+namespace dvfs::exp::sweep {
+
+ProgressMeter::ProgressMeter(std::string label, std::ostream *os)
+    : _label(std::move(label)), _os(os), _start(Clock::now()),
+      _lastPrint(_start)
+{
+}
+
+double
+ProgressMeter::elapsedSeconds() const
+{
+    return std::chrono::duration<double>(Clock::now() - _start).count();
+}
+
+double
+ProgressMeter::cellsPerSecond() const
+{
+    double secs = elapsedSeconds();
+    return secs > 0.0 ? static_cast<double>(_done) / secs : 0.0;
+}
+
+void
+ProgressMeter::update(std::size_t done, std::size_t total)
+{
+    _done = done;
+    if (!_os)
+        return;
+
+    auto now = Clock::now();
+    bool last = done == total;
+    // Throttle to twice a second; always print the final cell.
+    if (!last &&
+        std::chrono::duration<double>(now - _lastPrint).count() < 0.5)
+        return;
+    _lastPrint = now;
+
+    double rate = cellsPerSecond();
+    double eta = rate > 0.0
+                     ? static_cast<double>(total - done) / rate
+                     : 0.0;
+    *_os << strprintf("[%s] %zu/%zu cells, %.1f cells/s, ETA %.1fs\n",
+                      _label.c_str(), done, total, rate, eta);
+}
+
+void
+ProgressMeter::finish(std::size_t total)
+{
+    if (!_os)
+        return;
+    *_os << strprintf("[%s] done: %zu cells in %.2fs (%.1f cells/s)\n",
+                      _label.c_str(), total, elapsedSeconds(),
+                      cellsPerSecond());
+}
+
+} // namespace dvfs::exp::sweep

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Progress/ETA reporting for long sweeps.
+ *
+ * Prints a throttled one-line status (cells done, rate, ETA) to a
+ * stream of the caller's choosing — stderr by default, so harness
+ * table output on stdout stays machine-readable. Timing uses the
+ * wall clock; nothing here feeds back into simulated behaviour.
+ */
+
+#ifndef DVFS_EXP_SWEEP_PROGRESS_HH
+#define DVFS_EXP_SWEEP_PROGRESS_HH
+
+#include <chrono>
+#include <cstddef>
+#include <ostream>
+#include <string>
+
+#include "exp/sweep/pool.hh"
+
+namespace dvfs::exp::sweep {
+
+/**
+ * Wall-clock meter over a sweep. Construct just before the sweep,
+ * hand callback() to runIndexed, call finish() after it returns.
+ * update() is called under the pool's progress lock, so the meter
+ * needs no locking of its own.
+ */
+class ProgressMeter
+{
+  public:
+    /**
+     * @param label Prefix for status lines, e.g. the bench name.
+     * @param os    Destination stream (nullptr silences output; the
+     *              meter still measures, for cellsPerSecond()).
+     */
+    explicit ProgressMeter(std::string label, std::ostream *os);
+
+    /** Record a completed cell; maybe print a status line. */
+    void update(std::size_t done, std::size_t total);
+
+    /** Print the closing summary line (rate over the whole sweep). */
+    void finish(std::size_t total);
+
+    /** Progress callback bound to this meter. */
+    ProgressFn
+    callback()
+    {
+        return [this](std::size_t done, std::size_t total) {
+            update(done, total);
+        };
+    }
+
+    /** Wall seconds since construction. */
+    double elapsedSeconds() const;
+
+    /** Completed cells per wall second so far. */
+    double cellsPerSecond() const;
+
+  private:
+    using Clock = std::chrono::steady_clock;
+
+    std::string _label;
+    std::ostream *_os;
+    Clock::time_point _start;
+    Clock::time_point _lastPrint;
+    std::size_t _done = 0;
+};
+
+} // namespace dvfs::exp::sweep
+
+#endif // DVFS_EXP_SWEEP_PROGRESS_HH

@@ -4,6 +4,17 @@
 
 namespace dvfs::sim {
 
+namespace {
+
+/** Pack an entry's identity into an opaque EventId (never 0). */
+constexpr EventId
+makeId(std::uint32_t slot, std::uint32_t gen)
+{
+    return (static_cast<EventId>(slot) + 1) << 32 | gen;
+}
+
+} // namespace
+
 EventQueue::EventQueue()
     : _now(0), _nextSeq(1), _live(0), _executed(0)
 {
@@ -12,12 +23,8 @@ EventQueue::EventQueue()
 EventQueue::~EventQueue()
 {
     // A run may end (main exit, requestStop) with events still
-    // scheduled; reclaim them and the freelist.
-    while (!_heap.empty()) {
-        delete _heap.top();
-        _heap.pop();
-    }
-    for (Entry *e : _pool)
+    // scheduled; every entry ever allocated is owned by _entries.
+    for (Entry *e : _entries)
         delete e;
 }
 
@@ -29,18 +36,34 @@ EventQueue::allocEntry()
         _pool.pop_back();
         return e;
     }
-    return new Entry();
+    Entry *e = new Entry();
+    e->slot = static_cast<std::uint32_t>(_entries.size());
+    e->gen = 0;
+    _entries.push_back(e);
+    return e;
 }
 
 void
 EventQueue::freeEntry(Entry *e)
 {
     e->cb = nullptr;
-    if (_pool.size() < 4096) {
+    ++e->gen;  // invalidate any EventId still pointing at this entry
+    if (_pool.size() < 4096)
         _pool.push_back(e);
-    } else {
-        delete e;
-    }
+    // Over-full pool: the entry stays parked in _entries and is
+    // reclaimed by the destructor.
+}
+
+EventQueue::Entry *
+EventQueue::resolve(EventId id) const
+{
+    std::uint64_t slot_plus_one = id >> 32;
+    if (slot_plus_one == 0 || slot_plus_one > _entries.size())
+        return nullptr;
+    Entry *e = _entries[static_cast<std::size_t>(slot_plus_one) - 1];
+    if (!e->live || e->gen != static_cast<std::uint32_t>(id))
+        return nullptr;
+    return e;
 }
 
 EventId
@@ -56,20 +79,20 @@ EventQueue::schedule(Tick when, EventCallback cb)
     e->seq = _nextSeq++;
     e->cb = std::move(cb);
     e->cancelled = false;
+    e->live = true;
     _heap.push(e);
-    _liveIndex.emplace(e->seq, e);
     ++_live;
-    return e->seq;
+    return makeId(e->slot, e->gen);
 }
 
 bool
 EventQueue::cancel(EventId id)
 {
-    auto it = _liveIndex.find(id);
-    if (it == _liveIndex.end())
+    Entry *e = resolve(id);
+    if (!e)
         return false;
-    it->second->cancelled = true;
-    _liveIndex.erase(it);
+    e->cancelled = true;
+    e->live = false;
     --_live;
     return true;
 }
@@ -97,7 +120,7 @@ EventQueue::runOne()
         return false;
     DVFS_ASSERT(e->when >= _now, "event time went backwards");
     _now = e->when;
-    _liveIndex.erase(e->seq);
+    e->live = false;
     --_live;
     ++_executed;
     EventCallback cb = std::move(e->cb);
@@ -121,7 +144,7 @@ EventQueue::runUntil(Tick limit)
             break;
         }
         _now = e->when;
-        _liveIndex.erase(e->seq);
+        e->live = false;
         --_live;
         ++_executed;
         ++n;

@@ -14,7 +14,6 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
-#include <unordered_map>
 #include <vector>
 
 #include "sim/time.hh"
@@ -105,11 +104,21 @@ class EventQueue
     std::uint64_t executed() const { return _executed; }
 
   private:
+    /**
+     * Entries are pooled and identified by a permanent slot plus a
+     * per-reuse generation; an EventId packs (slot+1, generation), so
+     * cancel() is two array reads instead of a hash lookup and stale
+     * handles (fired, cancelled, or from a recycled entry) are
+     * rejected by the generation check.
+     */
     struct Entry {
         Tick when;
-        std::uint64_t seq;  ///< insertion order; also the EventId
+        std::uint64_t seq;   ///< insertion order (same-tick FIFO)
         EventCallback cb;
+        std::uint32_t slot;  ///< permanent index into _entries
+        std::uint32_t gen;   ///< bumped on retire; stale ids mismatch
         bool cancelled;
+        bool live;           ///< scheduled and not yet fired/cancelled
     };
 
     /** Min-heap ordering: earliest tick first, then insertion order. */
@@ -130,13 +139,14 @@ class EventQueue
     std::uint64_t _live;
     std::uint64_t _executed;
     std::priority_queue<Entry *, std::vector<Entry *>, Later> _heap;
-    std::vector<Entry *> _pool;  ///< freelist of recycled entries
+    std::vector<Entry *> _entries;  ///< every entry ever allocated
+    std::vector<Entry *> _pool;     ///< freelist of recycled entries
 
     Entry *allocEntry();
     void freeEntry(Entry *e);
 
-    /** id -> heap entry, for cancellation; erased when an event fires. */
-    std::unordered_map<EventId, Entry *> _liveIndex;
+    /** Resolve an EventId to its live entry, or nullptr if stale. */
+    Entry *resolve(EventId id) const;
 };
 
 } // namespace dvfs::sim

@@ -1,5 +1,7 @@
 #include "uarch/cache.hh"
 
+#include <bit>
+
 #include "sim/log.hh"
 
 namespace dvfs::uarch {
@@ -40,26 +42,31 @@ Cache::Cache(std::string name, const CacheConfig &cfg)
     _numSets = static_cast<std::uint32_t>(lines / _cfg.assoc);
     if (!isPow2(_numSets))
         fatal("cache '%s': set count must be a power of two", _name.c_str());
+    _lineShift = static_cast<std::uint32_t>(
+        std::countr_zero(static_cast<std::uint64_t>(_cfg.lineBytes)));
+    _setBits = static_cast<std::uint32_t>(
+        std::countr_zero(static_cast<std::uint64_t>(_numSets)));
     _ways.assign(static_cast<std::size_t>(_numSets) * _cfg.assoc, Way{});
+    _mru.assign(_numSets, 0);
 }
 
 std::uint32_t
 Cache::setIndex(std::uint64_t addr) const
 {
-    return static_cast<std::uint32_t>((addr / _cfg.lineBytes) &
+    return static_cast<std::uint32_t>((addr >> _lineShift) &
                                       (_numSets - 1));
 }
 
 std::uint64_t
 Cache::tagOf(std::uint64_t addr) const
 {
-    return (addr / _cfg.lineBytes) / _numSets;
+    return (addr >> _lineShift) >> _setBits;
 }
 
 std::uint64_t
 Cache::lineAddr(std::uint64_t tag, std::uint32_t set) const
 {
-    return (tag * _numSets + set) * _cfg.lineBytes;
+    return ((tag << _setBits) | set) << _lineShift;
 }
 
 Cache::Result
@@ -71,12 +78,24 @@ Cache::access(std::uint64_t addr, bool dirty)
 
     ++_stamp;
 
+    // Fast path: the set's most-recently-touched way.
+    {
+        Way &mway = base[_mru[set]];
+        if (mway.valid && mway.tag == tag) {
+            mway.lru = _stamp;
+            mway.dirty = mway.dirty || dirty;
+            _hits.inc();
+            return Result{true, std::nullopt};
+        }
+    }
+
     Way *victim = nullptr;
     for (std::uint32_t w = 0; w < _cfg.assoc; ++w) {
         Way &way = base[w];
         if (way.valid && way.tag == tag) {
             way.lru = _stamp;
             way.dirty = way.dirty || dirty;
+            _mru[set] = w;
             _hits.inc();
             return Result{true, std::nullopt};
         }
@@ -98,6 +117,7 @@ Cache::access(std::uint64_t addr, bool dirty)
     victim->tag = tag;
     victim->lru = _stamp;
     victim->dirty = dirty;
+    _mru[set] = static_cast<std::uint32_t>(victim - base);
     return res;
 }
 
@@ -118,6 +138,7 @@ void
 Cache::reset()
 {
     std::fill(_ways.begin(), _ways.end(), Way{});
+    std::fill(_mru.begin(), _mru.end(), 0u);
     _stamp = 0;
     _hits.reset();
     _misses.reset();

@@ -107,7 +107,17 @@ class Cache
     std::string _name;
     CacheConfig _cfg;
     std::uint32_t _numSets;
+    std::uint32_t _lineShift;  ///< log2(lineBytes)
+    std::uint32_t _setBits;    ///< log2(_numSets)
     std::vector<Way> _ways;  ///< _numSets * assoc, set-major
+    /**
+     * Most-recently-touched way per set. Lookups probe it before
+     * scanning the set: locality makes repeat hits to the same line
+     * the common case on the simulator's hot path, and the probe is
+     * one compare. Purely an access-path shortcut — hit/miss results,
+     * LRU state and stats are identical with or without it.
+     */
+    std::vector<std::uint32_t> _mru;
     std::uint64_t _stamp;
 
     sim::Counter _hits, _misses, _writebacks;

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Golden-trace regression: a small fixed sweep must produce
+ * bit-identical results serially and at any worker count.
+ *
+ * "Bit-identical" is checked three ways, strongest first: the FNV-1a
+ * fingerprint of every cell (covers counters, energy doubles and the
+ * full epoch record), the raw totalTime ticks, and a derived
+ * predictor-error double computed the way fig3 computes it. The
+ * managed-run path is covered through sweepMap with the same
+ * contract.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "exp/experiment.hh"
+#include "exp/sweep/fingerprint.hh"
+#include "exp/sweep/sweep.hh"
+#include "pred/predictors.hh"
+
+using namespace dvfs;
+using exp::sweep::SweepRunner;
+using exp::sweep::SweepSpec;
+
+namespace {
+
+/** The golden grid: 2 synthetic workloads x 2 frequencies x 2 seeds. */
+SweepSpec
+goldenSpec()
+{
+    SweepSpec spec;
+    spec.workloads = {wl::syntheticSmall(2, 60), wl::syntheticSmall(4, 40)};
+    spec.frequencies = {Frequency::ghz(1.0), Frequency::ghz(4.0)};
+    spec.seeds = SweepSpec::replicateSeeds(42, 2);
+    return spec;
+}
+
+exp::sweep::SweepResult
+runAt(unsigned workers)
+{
+    SweepRunner::Options ro;
+    ro.workers = workers;
+    return SweepRunner(goldenSpec(), ro).run();
+}
+
+/** Bitwise double equality (== would also accept -0.0 vs 0.0). */
+bool
+sameBits(double a, double b)
+{
+    std::uint64_t ua, ub;
+    std::memcpy(&ua, &a, sizeof(ua));
+    std::memcpy(&ub, &b, sizeof(ub));
+    return ua == ub;
+}
+
+} // namespace
+
+TEST(SweepGolden, SerialReferenceMatchesDirectRuns)
+{
+    // The engine at workers=1 is exactly the serial harness: every
+    // cell equals a direct runFixed with the same inputs.
+    auto res = runAt(1);
+    const auto &spec = res.spec;
+    for (std::size_t w = 0; w < spec.workloads.size(); ++w) {
+        for (std::size_t f = 0; f < spec.frequencies.size(); ++f) {
+            for (std::size_t s = 0; s < spec.seeds.size(); ++s) {
+                exp::FixedRunOptions opts = spec.runOptions;
+                opts.seed = spec.seeds[s];
+                auto direct = exp::runFixed(spec.workloads[w],
+                                            spec.frequencies[f], opts);
+                const auto &cell = res.at(w, f, s);
+                EXPECT_EQ(exp::sweep::fingerprintRun(cell),
+                          exp::sweep::fingerprintRun(direct))
+                    << "w=" << w << " f=" << f << " s=" << s;
+            }
+        }
+    }
+}
+
+TEST(SweepGolden, ParallelBitIdenticalToSerial)
+{
+    auto serial = runAt(1);
+    for (unsigned workers : {2u, 8u}) {
+        auto par = runAt(workers);
+        ASSERT_EQ(par.cells.size(), serial.cells.size());
+        for (std::size_t i = 0; i < serial.cells.size(); ++i) {
+            const auto &a = serial.cells[i];
+            const auto &b = par.cells[i];
+            EXPECT_EQ(exp::sweep::fingerprintRun(a),
+                      exp::sweep::fingerprintRun(b))
+                << "cell " << i << " workers " << workers;
+            EXPECT_EQ(a.totalTime, b.totalTime);
+            EXPECT_EQ(a.events, b.events);
+            EXPECT_TRUE(sameBits(a.energy.total(), b.energy.total()));
+        }
+    }
+}
+
+TEST(SweepGolden, PredictorErrorsBitIdenticalAcrossWorkerCounts)
+{
+    // The derived quantity the figures actually print: feed the 1 GHz
+    // record to DEP+BURST, compare against the 4 GHz ground truth.
+    auto serial = runAt(1);
+    auto par = runAt(8);
+
+    pred::DepPredictor p({pred::BaseEstimator::Crit, true}, true);
+    for (std::size_t w = 0; w < serial.spec.workloads.size(); ++w) {
+        for (std::size_t s = 0; s < serial.spec.seeds.size(); ++s) {
+            auto err = [&](const exp::sweep::SweepResult &res) {
+                const auto &base = res.at(w, std::size_t{0}, s);
+                Tick actual = res.at(w, std::size_t{1}, s).totalTime;
+                return pred::Predictor::relativeError(
+                    p.predict(base.record, Frequency::ghz(4.0)), actual);
+            };
+            EXPECT_TRUE(sameBits(err(serial), err(par)))
+                << "w=" << w << " s=" << s;
+        }
+    }
+}
+
+TEST(SweepGolden, FingerprintIsInputSensitive)
+{
+    // Sanity for the witness itself: different seed or frequency must
+    // change the fingerprint, otherwise the golden checks above are
+    // vacuous.
+    auto res = runAt(1);
+    EXPECT_NE(exp::sweep::fingerprintRun(res.at(0, std::size_t{0}, 0)),
+              exp::sweep::fingerprintRun(res.at(0, std::size_t{0}, 1)));
+    EXPECT_NE(exp::sweep::fingerprintRun(res.at(0, std::size_t{0}, 0)),
+              exp::sweep::fingerprintRun(res.at(0, std::size_t{1}, 0)));
+    EXPECT_NE(exp::sweep::fingerprintRun(res.at(0, std::size_t{0}, 0)),
+              exp::sweep::fingerprintRun(res.at(1, std::size_t{0}, 0)));
+}
+
+TEST(SweepGolden, ManagedSweepSchedulingInvariant)
+{
+    // sweepMap over managed runs: same contract, different run type.
+    auto managed = [&](unsigned workers) {
+        std::vector<wl::WorkloadParams> wls = {wl::syntheticSmall(2, 60),
+                                               wl::syntheticSmall(4, 40)};
+        return exp::sweep::sweepMap<exp::ManagedRunOutput>(
+            wls.size(), workers, [&](std::size_t i) {
+                mgr::ManagerConfig mc;
+                mc.tolerableSlowdown = 0.10;
+                return exp::runManaged(wls[i], mc,
+                                       power::VfTable::haswell());
+            });
+    };
+    auto serial = managed(1);
+    auto par = managed(8);
+    ASSERT_EQ(serial.size(), par.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_EQ(exp::sweep::fingerprintRun(serial[i]),
+                  exp::sweep::fingerprintRun(par[i]))
+            << "managed cell " << i;
+        EXPECT_EQ(serial[i].totalTime, par[i].totalTime);
+        EXPECT_EQ(serial[i].decisions.size(), par[i].decisions.size());
+    }
+}
