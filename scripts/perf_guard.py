@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Soft performance-regression guard over BENCH_sweep.json trajectories.
+
+Compares freshly measured dvfs-sweep-bench-v1 records against the last
+committed record for the same configuration (bench + run + cells,
+preferring rows from a machine with the same hardware_threads) and
+emits a GitHub Actions ::warning:: annotation when throughput dropped
+by more than the threshold. Always exits 0: wall-clock numbers on
+shared CI runners are noisy, so the guard annotates instead of
+failing; a real regression shows up as the warning persisting across
+commits.
+
+Usage:
+  perf_guard.py --fresh NEW.json [--baseline BENCH_sweep.json]
+                [--threshold 0.15]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_records(path):
+    records = []
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    rec = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                if rec.get("schema") == "dvfs-sweep-bench-v1":
+                    records.append(rec)
+    except OSError as exc:
+        print(f"perf_guard: cannot read {path}: {exc}", file=sys.stderr)
+    return records
+
+
+def config_key(rec):
+    return (rec.get("bench"), rec.get("run"), rec.get("cells"))
+
+
+def latest_baseline(baseline, rec):
+    """Last committed record for rec's configuration, preferring rows
+    measured on a machine with the same hardware_threads (cross-machine
+    throughput is not comparable)."""
+    matches = [b for b in baseline if config_key(b) == config_key(rec)]
+    same_hw = [
+        b for b in matches
+        if b.get("hardware_threads") == rec.get("hardware_threads")
+    ]
+    pool = same_hw or matches
+    return pool[-1] if pool else None
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--fresh", required=True,
+                    help="records just measured (JSON Lines)")
+    ap.add_argument("--baseline", default="BENCH_sweep.json",
+                    help="committed trajectory to compare against")
+    ap.add_argument("--threshold", type=float, default=0.15,
+                    help="relative cells_per_sec drop that triggers a "
+                         "warning (default 0.15)")
+    args = ap.parse_args()
+
+    fresh = load_records(args.fresh)
+    baseline = load_records(args.baseline)
+    if not fresh:
+        print(f"perf_guard: no fresh records in {args.fresh}; nothing "
+              "to check")
+        return 0
+
+    warned = 0
+    for rec in fresh:
+        base = latest_baseline(baseline, rec)
+        now = rec.get("cells_per_sec")
+        if base is None or not now:
+            print(f"perf_guard: {rec.get('bench')}/{rec.get('run')}: "
+                  "no comparable baseline row, skipping")
+            continue
+        ref = base.get("cells_per_sec")
+        if not ref:
+            continue
+        ratio = now / ref
+        line = (f"{rec.get('bench')}/{rec.get('run')}: "
+                f"{now:.2f} cells/s vs baseline {ref:.2f} "
+                f"({(ratio - 1) * 100:+.1f}%)")
+        if ratio < 1.0 - args.threshold:
+            # GitHub Actions annotation; informational elsewhere.
+            print(f"::warning title=sweep_bench perf regression::{line}")
+            warned += 1
+        else:
+            print(f"perf_guard: {line}")
+
+    if warned:
+        print(f"perf_guard: {warned} configuration(s) regressed past "
+              f"{args.threshold * 100:.0f}% (soft: not failing the "
+              "build)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,6 +9,7 @@ namespace dvfs::os {
 SyncId
 FutexTable::allocate()
 {
+    _queues.emplace_back();
     return _next++;
 }
 
@@ -17,62 +18,54 @@ FutexTable::wait(SyncId f, ThreadId tid)
 {
     if (f == kNoSync)
         panic("futex wait on invalid sync id (thread %u)", tid);
+    // Ids are normally dense (from allocate()), but tolerate waits on
+    // ids minted elsewhere, as the hash-map representation did.
+    if (f >= _queues.size())
+        _queues.resize(f + 1);
     _queues[f].push_back(tid);
+    ++_waiting;
 }
 
-std::vector<ThreadId>
-FutexTable::wake(SyncId f, std::uint32_t n)
+std::size_t
+FutexTable::wake(SyncId f, std::uint32_t n, std::vector<ThreadId> &out)
 {
-    std::vector<ThreadId> woken;
-    auto it = _queues.find(f);
-    if (it == _queues.end())
-        return woken;
-    auto &q = it->second;
+    out.clear();
+    if (f >= _queues.size())
+        return 0;
+    WaitQueue &q = _queues[f];
     while (n-- > 0 && !q.empty()) {
-        woken.push_back(q.front());
-        q.pop_front();
+        out.push_back(q.front());
+        q.erase(q.begin());
     }
-    if (q.empty())
-        _queues.erase(it);
-    return woken;
+    _waiting -= out.size();
+    return out.size();
 }
 
 std::size_t
 FutexTable::waiters(SyncId f) const
 {
-    auto it = _queues.find(f);
-    return it == _queues.end() ? 0 : it->second.size();
+    return f < _queues.size() ? _queues[f].size() : 0;
 }
 
 bool
 FutexTable::remove(SyncId f, ThreadId tid)
 {
-    auto it = _queues.find(f);
-    if (it == _queues.end())
+    if (f >= _queues.size())
         return false;
-    auto &q = it->second;
+    WaitQueue &q = _queues[f];
     auto pos = std::find(q.begin(), q.end(), tid);
     if (pos == q.end())
         return false;
     q.erase(pos);
-    if (q.empty())
-        _queues.erase(it);
+    --_waiting;
     return true;
-}
-
-std::size_t
-FutexTable::totalWaiters() const
-{
-    std::size_t n = 0;
-    for (const auto &[id, q] : _queues)
-        n += q.size();
-    return n;
 }
 
 void
 FutexTable::reset()
 {
     _queues.clear();
+    _waiting = 0;
     _next = 0;
 }
 

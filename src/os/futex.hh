@@ -6,17 +6,21 @@
  * synchronization objects (mutexes, barriers) enter the kernel only to
  * sleep and to wake sleepers. The table holds FIFO wait queues; policy
  * (who to wake, when) lives in the callers.
+ *
+ * Sync ids are allocated densely, so the queues live in a flat vector
+ * indexed by id, and each queue keeps its first few waiters inline
+ * (SmallVector): the wait/wake fast path performs no hashing and, in
+ * steady state, no allocation.
  */
 
 #ifndef DVFS_OS_FUTEX_HH
 #define DVFS_OS_FUTEX_HH
 
 #include <cstdint>
-#include <deque>
-#include <unordered_map>
 #include <vector>
 
 #include "os/action.hh"
+#include "sim/small_vector.hh"
 
 namespace dvfs::os {
 
@@ -33,10 +37,25 @@ class FutexTable
     void wait(SyncId f, ThreadId tid);
 
     /**
-     * Dequeue up to @p n waiters from futex @p f, FIFO order.
-     * @return The woken thread ids (may be fewer than @p n).
+     * Dequeue up to @p n waiters from futex @p f into @p out (cleared
+     * first), FIFO order.
+     *
+     * The out-parameter form exists for the hot path: callers keep a
+     * reusable buffer so a wake allocates nothing. The buffer is the
+     * caller's; the table never holds a reference past the call.
+     *
+     * @return Number of threads woken (== out.size()).
      */
-    std::vector<ThreadId> wake(SyncId f, std::uint32_t n);
+    std::size_t wake(SyncId f, std::uint32_t n, std::vector<ThreadId> &out);
+
+    /** Convenience form of wake() returning a fresh vector. */
+    std::vector<ThreadId>
+    wake(SyncId f, std::uint32_t n)
+    {
+        std::vector<ThreadId> out;
+        wake(f, n, out);
+        return out;
+    }
 
     /** Number of threads parked on futex @p f. */
     std::size_t waiters(SyncId f) const;
@@ -49,14 +68,22 @@ class FutexTable
     bool remove(SyncId f, ThreadId tid);
 
     /** Total threads parked across all futexes. */
-    std::size_t totalWaiters() const;
+    std::size_t totalWaiters() const { return _waiting; }
 
     /** Drop all queues and reset the id allocator. */
     void reset();
 
   private:
+    /**
+     * One futex's FIFO wait queue. Four inline slots cover the common
+     * case (a handful of threads per mutex/barrier); a queue that
+     * grows past that spills to the heap once and keeps the block.
+     */
+    using WaitQueue = sim::SmallVector<ThreadId, 4>;
+
     SyncId _next = 0;
-    std::unordered_map<SyncId, std::deque<ThreadId>> _queues;
+    std::vector<WaitQueue> _queues;  ///< indexed by SyncId, dense
+    std::size_t _waiting = 0;        ///< total parked threads
 };
 
 } // namespace dvfs::os

@@ -131,6 +131,15 @@ System::recordPhaseEvent(SyncEventKind kind)
 void
 System::addFrequencyObserver(std::function<void(Frequency, Tick)> fn)
 {
+    // Grow in explicit steps so registration from inside an observer
+    // callback (mid-notification) never reallocates out from under
+    // the iteration in setFrequency — which additionally walks by
+    // index over a size snapshot, so a mid-notification registrant
+    // starts observing with the *next* transition and misses none
+    // after it.
+    if (_freqObservers.size() == _freqObservers.capacity())
+        _freqObservers.reserve(std::max<std::size_t>(
+            8, _freqObservers.capacity() * 2));
     _freqObservers.push_back(std::move(fn));
 }
 
@@ -171,15 +180,23 @@ System::setFrequency(Frequency f)
     // All in-flight work completes with the old timing; newly
     // dispatched work waits out the chip-wide transition stall.
     _frozenUntil = std::max(_frozenUntil, _eq.now() + stall);
-    for (auto &fn : _freqObservers)
-        fn(f, _eq.now());
+    // Index loop over a size snapshot: an observer registered during
+    // notification must not invalidate this walk (and sees only
+    // subsequent transitions).
+    const std::size_t n_obs = _freqObservers.size();
+    for (std::size_t i = 0; i < n_obs; ++i)
+        _freqObservers[i](f, _eq.now());
     _coreDomain.setFrequency(f, _eq.now());
 }
 
 std::uint32_t
 System::futexWake(SyncId f, std::uint32_t n)
 {
-    auto woken = _futexes.wake(f, n);
+    DVFS_ASSERT(!_wakeActive,
+                "reentrant futexWake would clobber the wake scratch");
+    _wakeActive = true;
+    auto &woken = _wokenScratch;
+    _futexes.wake(f, n, woken);
     for (ThreadId tid : woken) {
         Thread &w = *_threads[tid];
         if (w.state == ThreadState::Blocked) {
@@ -190,6 +207,7 @@ System::futexWake(SyncId f, std::uint32_t n)
             _pendingWake[tid] = true;
         }
     }
+    _wakeActive = false;
     return static_cast<std::uint32_t>(woken.size());
 }
 
@@ -497,7 +515,8 @@ System::doMutexUnlock(Thread &t, SyncId m)
     Thread *tp = &t;
     MutexObj *mup = &mu;
     _eq.schedule(end, [this, tp, mup, end, tmp] {
-        auto woken = _futexes.wake(mup->futex, 1);
+        auto &woken = _wokenScratch;
+        _futexes.wake(mup->futex, 1, woken);
         if (!woken.empty()) {
             // Direct handoff: ownership passes to the woken waiter.
             mup->owner = woken[0];

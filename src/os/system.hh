@@ -323,6 +323,16 @@ class System
     std::vector<SyncListener *> _listeners;
     std::vector<std::function<void(Frequency, Tick)>> _freqObservers;
 
+    /**
+     * Reusable buffer for futex wake lists, so the wake path performs
+     * no allocation in steady state. Valid only within one wake call
+     * chain; safe because nothing in becomeReady()/requestFill()
+     * triggers a nested wake synchronously (fills are deferred to an
+     * event).
+     */
+    std::vector<ThreadId> _wokenScratch;
+    bool _wakeActive = false;  ///< guards _wokenScratch reentrancy
+
     ThreadId _mainThread = kNoThread;
     bool _runStarted = false;
     bool _runEnded = false;

@@ -4,17 +4,6 @@
 
 namespace dvfs::sim {
 
-namespace {
-
-/** Pack an entry's identity into an opaque EventId (never 0). */
-constexpr EventId
-makeId(std::uint32_t slot, std::uint32_t gen)
-{
-    return (static_cast<EventId>(slot) + 1) << 32 | gen;
-}
-
-} // namespace
-
 EventQueue::EventQueue()
     : _now(0), _nextSeq(1), _live(0), _executed(0)
 {
@@ -46,7 +35,7 @@ EventQueue::allocEntry()
 void
 EventQueue::freeEntry(Entry *e)
 {
-    e->cb = nullptr;
+    e->cb.reset();
     ++e->gen;  // invalidate any EventId still pointing at this entry
     if (_pool.size() < 4096)
         _pool.push_back(e);
@@ -66,8 +55,8 @@ EventQueue::resolve(EventId id) const
     return e;
 }
 
-EventId
-EventQueue::schedule(Tick when, EventCallback cb)
+EventQueue::Entry *
+EventQueue::acquire(Tick when)
 {
     if (when < _now) {
         panic("event scheduled in the past (when=%llu now=%llu)",
@@ -77,12 +66,11 @@ EventQueue::schedule(Tick when, EventCallback cb)
     Entry *e = allocEntry();
     e->when = when;
     e->seq = _nextSeq++;
-    e->cb = std::move(cb);
     e->cancelled = false;
     e->live = true;
     _heap.push(e);
     ++_live;
-    return makeId(e->slot, e->gen);
+    return e;
 }
 
 bool

@@ -12,16 +12,28 @@
 #define DVFS_SIM_EVENT_QUEUE_HH
 
 #include <cstdint>
-#include <functional>
 #include <queue>
 #include <vector>
 
+#include "sim/inline_callback.hh"
 #include "sim/time.hh"
 
 namespace dvfs::sim {
 
-/** Callback type executed when an event fires. */
-using EventCallback = std::function<void()>;
+/**
+ * Inline storage for an event callback's captures.
+ *
+ * Sized for the largest capture list in the tree: the mutex-unlock
+ * continuation in os/system.cc captures {System*, Thread*, MutexObj*,
+ * Tick, PerfCounters} = 152 bytes. A schedule site whose captures
+ * outgrow this fails to compile (see InlineCallback::emplace), at
+ * which point either shrink the capture or raise this constant —
+ * every pooled event entry carries this many bytes.
+ */
+inline constexpr std::size_t kEventCallbackBytes = 160;
+
+/** Callback type executed when an event fires (allocation-free). */
+using EventCallback = InlineCallback<kEventCallbackBytes>;
 
 /** Opaque handle identifying a scheduled event (for cancellation). */
 using EventId = std::uint64_t;
@@ -52,17 +64,29 @@ class EventQueue
     /**
      * Schedule @p cb to run at absolute time @p when.
      *
+     * The callable is constructed directly into the pooled entry's
+     * inline storage; captures larger than kEventCallbackBytes are a
+     * compile-time error.
+     *
      * @param when Absolute tick, must be >= now().
      * @param cb   Callback to execute.
      * @return Handle usable with cancel().
      */
-    EventId schedule(Tick when, EventCallback cb);
+    template <typename F>
+    EventId
+    schedule(Tick when, F &&cb)
+    {
+        Entry *e = acquire(when);
+        e->cb.emplace(std::forward<F>(cb));
+        return makeId(e->slot, e->gen);
+    }
 
     /** Schedule @p cb to run @p delay ticks from now. */
+    template <typename F>
     EventId
-    scheduleAfter(Tick delay, EventCallback cb)
+    scheduleAfter(Tick delay, F &&cb)
     {
-        return schedule(_now + delay, std::move(cb));
+        return schedule(_now + delay, std::forward<F>(cb));
     }
 
     /**
@@ -103,13 +127,23 @@ class EventQueue
     /** Total number of events executed since construction. */
     std::uint64_t executed() const { return _executed; }
 
+    /**
+     * Number of entries ever allocated (pool high-water mark). Stays
+     * flat in steady state: retired entries are recycled, so this only
+     * grows with the peak number of simultaneously pending events.
+     */
+    std::size_t entriesAllocated() const { return _entries.size(); }
+
   private:
     /**
      * Entries are pooled and identified by a permanent slot plus a
      * per-reuse generation; an EventId packs (slot+1, generation), so
      * cancel() is two array reads instead of a hash lookup and stale
      * handles (fired, cancelled, or from a recycled entry) are
-     * rejected by the generation check.
+     * rejected by the generation check. The callback's captures live
+     * inside the entry (EventCallback is inline storage), so a
+     * schedule/fire cycle through the pool performs zero heap
+     * allocations.
      */
     struct Entry {
         Tick when;
@@ -120,6 +154,19 @@ class EventQueue
         bool cancelled;
         bool live;           ///< scheduled and not yet fired/cancelled
     };
+
+    /** Pack an entry's identity into an opaque EventId (never 0). */
+    static constexpr EventId
+    makeId(std::uint32_t slot, std::uint32_t gen)
+    {
+        return (static_cast<EventId>(slot) + 1) << 32 | gen;
+    }
+
+    /**
+     * Validate @p when, pull an entry from the pool and enqueue it.
+     * The caller fills in the callback.
+     */
+    Entry *acquire(Tick when);
 
     /** Min-heap ordering: earliest tick first, then insertion order. */
     struct Later {

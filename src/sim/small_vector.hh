@@ -1,0 +1,221 @@
+/**
+ * @file
+ * A vector with inline storage for its first N elements.
+ *
+ * Hot OS structures (futex wait queues, wake lists) hold a handful of
+ * elements almost all the time; node- or heap-backed containers put an
+ * allocation on paths that run once per synchronization event. A
+ * SmallVector keeps those elements in the object itself and only
+ * touches the allocator when a queue genuinely outgrows its inline
+ * capacity — after which it behaves like a plain vector (the heap
+ * block is kept until destruction/shrink, so steady-state growth never
+ * reallocates either).
+ */
+
+#ifndef DVFS_SIM_SMALL_VECTOR_HH
+#define DVFS_SIM_SMALL_VECTOR_HH
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace dvfs::sim {
+
+/**
+ * A dynamically sized array whose first @p N elements live inline.
+ *
+ * Supports the subset of the std::vector interface the simulator
+ * needs; grows geometrically once spilled to the heap. T must be
+ * nothrow move constructible (elements are relocated on growth).
+ */
+template <typename T, std::size_t N>
+class SmallVector
+{
+    static_assert(N > 0, "inline capacity must be positive");
+    static_assert(std::is_nothrow_move_constructible_v<T>,
+                  "T must be nothrow move constructible");
+
+  public:
+    SmallVector() = default;
+
+    SmallVector(const SmallVector &other) { appendAll(other); }
+
+    SmallVector(SmallVector &&other) noexcept { stealFrom(other); }
+
+    SmallVector &
+    operator=(const SmallVector &other)
+    {
+        if (this != &other) {
+            clear();
+            appendAll(other);
+        }
+        return *this;
+    }
+
+    SmallVector &
+    operator=(SmallVector &&other) noexcept
+    {
+        if (this != &other) {
+            destroyAll();
+            stealFrom(other);
+        }
+        return *this;
+    }
+
+    ~SmallVector() { destroyAll(); }
+
+    T *begin() { return _data; }
+    T *end() { return _data + _size; }
+    const T *begin() const { return _data; }
+    const T *end() const { return _data + _size; }
+
+    T &operator[](std::size_t i) { return _data[i]; }
+    const T &operator[](std::size_t i) const { return _data[i]; }
+
+    T &front() { return _data[0]; }
+    const T &front() const { return _data[0]; }
+    T &back() { return _data[_size - 1]; }
+    const T &back() const { return _data[_size - 1]; }
+
+    std::size_t size() const { return _size; }
+    bool empty() const { return _size == 0; }
+    std::size_t capacity() const { return _cap; }
+
+    /** True while no heap block has been acquired. */
+    bool inlined() const { return _data == inlinePtr(); }
+
+    void
+    push_back(const T &v)
+    {
+        emplace_back(v);
+    }
+
+    void
+    push_back(T &&v)
+    {
+        emplace_back(std::move(v));
+    }
+
+    template <typename... Args>
+    T &
+    emplace_back(Args &&...args)
+    {
+        if (_size == _cap)
+            grow();
+        T *slot = ::new (static_cast<void *>(_data + _size))
+            T(std::forward<Args>(args)...);
+        ++_size;
+        return *slot;
+    }
+
+    void
+    pop_back()
+    {
+        --_size;
+        _data[_size].~T();
+    }
+
+    /** Erase the element at @p pos, shifting the tail left. */
+    T *
+    erase(T *pos)
+    {
+        for (T *p = pos; p + 1 != end(); ++p)
+            *p = std::move(p[1]);
+        pop_back();
+        return pos;
+    }
+
+    void
+    clear()
+    {
+        for (std::size_t i = 0; i < _size; ++i)
+            _data[i].~T();
+        _size = 0;
+    }
+
+  private:
+    T *inlinePtr() { return reinterpret_cast<T *>(_inline); }
+    const T *inlinePtr() const { return reinterpret_cast<const T *>(_inline); }
+
+    void
+    grow()
+    {
+        relocateTo(_cap * 2);
+    }
+
+    /** Move all elements into a fresh heap block of @p new_cap. */
+    void
+    relocateTo(std::size_t new_cap)
+    {
+        T *fresh = static_cast<T *>(
+            ::operator new(new_cap * sizeof(T), std::align_val_t(alignof(T))));
+        for (std::size_t i = 0; i < _size; ++i) {
+            ::new (static_cast<void *>(fresh + i)) T(std::move(_data[i]));
+            _data[i].~T();
+        }
+        releaseHeap();
+        _data = fresh;
+        _cap = new_cap;
+    }
+
+    void
+    releaseHeap()
+    {
+        if (!inlined())
+            ::operator delete(_data, std::align_val_t(alignof(T)));
+    }
+
+    void
+    destroyAll()
+    {
+        clear();
+        releaseHeap();
+        _data = inlinePtr();
+        _cap = N;
+    }
+
+    void
+    appendAll(const SmallVector &other)
+    {
+        if (other._size > _cap)
+            relocateTo(other._size);
+        for (std::size_t i = 0; i < other._size; ++i)
+            ::new (static_cast<void *>(_data + i)) T(other._data[i]);
+        _size = other._size;
+    }
+
+    /** Take @p other's contents; leaves @p other empty. Callee owns no
+     *  elements or heap block on entry. */
+    void
+    stealFrom(SmallVector &other) noexcept
+    {
+        if (other.inlined()) {
+            _data = inlinePtr();
+            _cap = N;
+            for (std::size_t i = 0; i < other._size; ++i) {
+                ::new (static_cast<void *>(_data + i))
+                    T(std::move(other._data[i]));
+                other._data[i].~T();
+            }
+            _size = other._size;
+            other._size = 0;
+        } else {
+            _data = other._data;
+            _cap = other._cap;
+            _size = other._size;
+            other._data = other.inlinePtr();
+            other._cap = N;
+            other._size = 0;
+        }
+    }
+
+    T *_data = inlinePtr();
+    std::size_t _size = 0;
+    std::size_t _cap = N;
+    alignas(T) std::byte _inline[N * sizeof(T)];
+};
+
+} // namespace dvfs::sim
+
+#endif // DVFS_SIM_SMALL_VECTOR_HH

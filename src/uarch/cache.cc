@@ -50,77 +50,6 @@ Cache::Cache(std::string name, const CacheConfig &cfg)
     _mru.assign(_numSets, 0);
 }
 
-std::uint32_t
-Cache::setIndex(std::uint64_t addr) const
-{
-    return static_cast<std::uint32_t>((addr >> _lineShift) &
-                                      (_numSets - 1));
-}
-
-std::uint64_t
-Cache::tagOf(std::uint64_t addr) const
-{
-    return (addr >> _lineShift) >> _setBits;
-}
-
-std::uint64_t
-Cache::lineAddr(std::uint64_t tag, std::uint32_t set) const
-{
-    return ((tag << _setBits) | set) << _lineShift;
-}
-
-Cache::Result
-Cache::access(std::uint64_t addr, bool dirty)
-{
-    const std::uint32_t set = setIndex(addr);
-    const std::uint64_t tag = tagOf(addr);
-    Way *base = &_ways[static_cast<std::size_t>(set) * _cfg.assoc];
-
-    ++_stamp;
-
-    // Fast path: the set's most-recently-touched way.
-    {
-        Way &mway = base[_mru[set]];
-        if (mway.valid && mway.tag == tag) {
-            mway.lru = _stamp;
-            mway.dirty = mway.dirty || dirty;
-            _hits.inc();
-            return Result{true, std::nullopt};
-        }
-    }
-
-    Way *victim = nullptr;
-    for (std::uint32_t w = 0; w < _cfg.assoc; ++w) {
-        Way &way = base[w];
-        if (way.valid && way.tag == tag) {
-            way.lru = _stamp;
-            way.dirty = way.dirty || dirty;
-            _mru[set] = w;
-            _hits.inc();
-            return Result{true, std::nullopt};
-        }
-        if (!victim || !way.valid ||
-            (victim->valid && way.lru < victim->lru)) {
-            if (!victim || victim->valid)
-                victim = &way;
-        }
-    }
-
-    _misses.inc();
-    Result res{false, std::nullopt};
-    DVFS_ASSERT(victim != nullptr, "no victim way found");
-    if (victim->valid && victim->dirty) {
-        res.writeback = lineAddr(victim->tag, set);
-        _writebacks.inc();
-    }
-    victim->valid = true;
-    victim->tag = tag;
-    victim->lru = _stamp;
-    victim->dirty = dirty;
-    _mru[set] = static_cast<std::uint32_t>(victim - base);
-    return res;
-}
-
 bool
 Cache::probe(std::uint64_t addr) const
 {
@@ -160,6 +89,7 @@ CacheHierarchy::CacheHierarchy(std::uint32_t cores,
         _l2.emplace_back(strprintf("L2.%u", c), cfg.l2);
     }
     _writePortFreeAt.assign(cores, 0);
+    _writeDrainTicks = nsToTicks(_cfg.writeDrainNs);
 }
 
 Tick
@@ -267,7 +197,7 @@ CacheHierarchy::storeLine(std::uint32_t core, std::uint64_t addr, Tick issue)
     if (r3.writeback)
         _dram.write(*r3.writeback, issue);
     Tick &port = _writePortFreeAt[core];
-    port = std::max(port, issue) + nsToTicks(_cfg.writeDrainNs);
+    port = std::max(port, issue) + _writeDrainTicks;
     return port;
 }
 

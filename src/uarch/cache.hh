@@ -30,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/log.hh"
 #include "sim/stats.hh"
 #include "sim/time.hh"
 #include "uarch/dram.hh"
@@ -74,6 +75,11 @@ class Cache
     /**
      * Probe for @p addr; on miss, allocate the line (evicting LRU).
      *
+     * Defined inline below the class: the hierarchy calls this for
+     * every load and store on the simulator's hottest path, and
+     * inlining it into CacheHierarchy::load/storeLine is a measurable
+     * win.
+     *
      * @param addr  Byte address.
      * @param dirty Mark the (new or existing) line dirty.
      */
@@ -100,9 +106,21 @@ class Cache
         bool dirty = false;
     };
 
-    std::uint32_t setIndex(std::uint64_t addr) const;
-    std::uint64_t tagOf(std::uint64_t addr) const;
-    std::uint64_t lineAddr(std::uint64_t tag, std::uint32_t set) const;
+    std::uint32_t setIndex(std::uint64_t addr) const
+    {
+        return static_cast<std::uint32_t>((addr >> _lineShift) &
+                                          (_numSets - 1));
+    }
+
+    std::uint64_t tagOf(std::uint64_t addr) const
+    {
+        return (addr >> _lineShift) >> _setBits;
+    }
+
+    std::uint64_t lineAddr(std::uint64_t tag, std::uint32_t set) const
+    {
+        return ((tag << _setBits) | set) << _lineShift;
+    }
 
     std::string _name;
     CacheConfig _cfg;
@@ -122,6 +140,66 @@ class Cache
 
     sim::Counter _hits, _misses, _writebacks;
 };
+
+inline Cache::Result
+Cache::access(std::uint64_t addr, bool dirty)
+{
+    const std::uint32_t set = setIndex(addr);
+    const std::uint64_t tag = tagOf(addr);
+    Way *base = &_ways[static_cast<std::size_t>(set) * _cfg.assoc];
+
+    ++_stamp;
+
+    // Fast path: the set's most-recently-touched way.
+    {
+        Way &mway = base[_mru[set]];
+        if (mway.valid && mway.tag == tag) {
+            mway.lru = _stamp;
+            mway.dirty = mway.dirty || dirty;
+            _hits.inc();
+            return Result{true, std::nullopt};
+        }
+    }
+
+    // Hit scan first, victim selection only on a miss: hits (the
+    // common case) pay one tag compare per way and nothing else, and
+    // the miss-path second pass re-reads set-local data already in
+    // the host L1. Selection is identical to the classic fused loop:
+    // the first invalid way wins, else the lowest-lru way (first
+    // among equals).
+    for (std::uint32_t w = 0; w < _cfg.assoc; ++w) {
+        Way &way = base[w];
+        if (way.valid && way.tag == tag) {
+            way.lru = _stamp;
+            way.dirty = way.dirty || dirty;
+            _mru[set] = w;
+            _hits.inc();
+            return Result{true, std::nullopt};
+        }
+    }
+
+    Way *victim = base;
+    for (std::uint32_t w = 1; w < _cfg.assoc; ++w) {
+        if (!victim->valid)
+            break;
+        Way &way = base[w];
+        if (!way.valid || way.lru < victim->lru)
+            victim = &way;
+    }
+
+    _misses.inc();
+    Result res{false, std::nullopt};
+    if (victim->valid && victim->dirty) {
+        res.writeback = lineAddr(victim->tag, set);
+        _writebacks.inc();
+    }
+    victim->valid = true;
+    victim->tag = tag;
+    victim->lru = _stamp;
+    victim->dirty = dirty;
+    _mru[set] = static_cast<std::uint32_t>(victim - base);
+    return res;
+}
 
 /** Configuration of the full hierarchy. */
 struct HierarchyConfig {
@@ -214,6 +292,8 @@ class CacheHierarchy
     Cache _l3;
     /** Per-core write-port horizon (line-fill buffer pipeline). */
     std::vector<Tick> _writePortFreeAt;
+    /** nsToTicks(_cfg.writeDrainNs), hoisted off the store path. */
+    Tick _writeDrainTicks = 0;
 };
 
 } // namespace dvfs::uarch

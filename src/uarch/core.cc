@@ -19,6 +19,7 @@ CoreModel::reset()
 {
     _sqPending.clear();
     _sqOccupied = 0;
+    _missScratch.clear();
 }
 
 Tick
@@ -59,12 +60,9 @@ CoreModel::executeCluster(const MissClusterSpec &spec, Tick start,
     const Frequency freq = _domain.frequency();
 
     // Record per-DRAM-miss (issue, completion) pairs for the Leading
-    // Loads estimate.
-    struct MissWindow {
-        Tick issue;
-        Tick completion;
-    };
-    std::vector<MissWindow> dram_misses;
+    // Loads estimate, in the core's reusable scratch arena.
+    std::vector<MissWindow> &dram_misses = _missScratch;
+    dram_misses.clear();
 
     Tick mem_end = start;
     Tick crit = 0;  // CRIT: max over chains of accumulated DRAM latency

@@ -25,6 +25,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <vector>
 
 #include "sim/time.hh"
 #include "uarch/cache.hh"
@@ -107,10 +108,25 @@ class CoreModel
     /** Ticks to retire @p n instructions at the current frequency. */
     Tick instrTicks(double n, double ipc_scale = 1.0) const;
 
+    /** One DRAM miss's (issue, completion) pair, for Leading Loads. */
+    struct MissWindow {
+        Tick issue;
+        Tick completion;
+    };
+
     std::uint32_t _id;
     CoreConfig _cfg;
     CacheHierarchy &_mem;
     const FreqDomain &_domain;
+
+    /**
+     * Scratch arena for executeCluster's per-cluster DRAM-miss list.
+     * Cleared (capacity kept) at the top of each cluster, so the
+     * buffer is allocated once per core and reused for the life of the
+     * run instead of malloc'd per miss cluster. Valid only during one
+     * executeCluster call; never read across calls.
+     */
+    std::vector<MissWindow> _missScratch;
 
     /**
      * Store-queue occupancy: drain completion tick and store count of

@@ -24,6 +24,24 @@ Dram::Dram(const DramConfig &cfg)
     _tCtrl = nsToTicks(_cfg.tCtrlNs);
     _tWr = nsToTicks(_cfg.tWrNs);
 
+    auto pow2 = [](std::uint64_t v) { return (v & (v - 1)) == 0; };
+    auto log2u = [](std::uint64_t v) {
+        std::uint32_t s = 0;
+        while (v > 1) { v >>= 1; ++s; }
+        return s;
+    };
+    const std::uint64_t lines_per_row = _cfg.rowBytes / _cfg.lineBytes;
+    _pow2Decode = pow2(_cfg.lineBytes) && pow2(_cfg.channels) &&
+                  pow2(_cfg.banksPerChannel) && pow2(lines_per_row);
+    if (_pow2Decode) {
+        _lineShift = log2u(_cfg.lineBytes);
+        _chanShift = log2u(_cfg.channels);
+        _bankShift = log2u(_cfg.banksPerChannel);
+        _rowShift = log2u(lines_per_row);
+        _chanMask = _cfg.channels - 1;
+        _bankMask = _cfg.banksPerChannel - 1;
+    }
+
     reset();
 }
 
@@ -37,6 +55,8 @@ Dram::reset()
         ch.writeBusFreeAt = 0;
         ch.inflightReads.assign(_cfg.channelQueueDepth, 0);
         ch.inflightWrites.assign(_cfg.channelQueueDepth, 0);
+        ch.readHead = 0;
+        ch.writeHead = 0;
     }
     _reads.reset();
     _writes.reset();
@@ -50,24 +70,23 @@ void
 Dram::decode(std::uint64_t addr, std::uint32_t &channel,
              std::uint32_t &bank, std::uint64_t &row) const
 {
-    std::uint64_t line = addr / _cfg.lineBytes;
     // Interleave channels then banks at line granularity so that
     // streaming accesses spread across the machine, as real
     // controllers do.
+    if (_pow2Decode) {
+        std::uint64_t line = addr >> _lineShift;
+        channel = static_cast<std::uint32_t>(line & _chanMask);
+        std::uint64_t in_channel = line >> _chanShift;
+        bank = static_cast<std::uint32_t>(in_channel & _bankMask);
+        row = (in_channel >> _bankShift) >> _rowShift;
+        return;
+    }
+    std::uint64_t line = addr / _cfg.lineBytes;
     channel = static_cast<std::uint32_t>(line % _cfg.channels);
     std::uint64_t in_channel = line / _cfg.channels;
     bank = static_cast<std::uint32_t>(in_channel % _cfg.banksPerChannel);
     std::uint64_t in_bank = in_channel / _cfg.banksPerChannel;
     row = in_bank / (_cfg.rowBytes / _cfg.lineBytes);
-}
-
-Tick
-Dram::queueAdmission(std::vector<Tick> &inflight, Tick t)
-{
-    // The controller tracks channelQueueDepth outstanding requests per
-    // direction; a new one must wait for the oldest to finish.
-    auto oldest = std::min_element(inflight.begin(), inflight.end());
-    return std::max(t, *oldest);
 }
 
 Tick
@@ -79,9 +98,16 @@ Dram::access(std::uint64_t addr, Tick issue, bool is_write)
     Channel &ch = _channels[ci];
     Bank &bank = ch.banks[bi];
 
+    // The controller tracks channelQueueDepth outstanding requests per
+    // direction; a new one must wait for the oldest to finish. The
+    // oldest completion is the ring-buffer head (completions per
+    // direction never decrease).
     auto &inflight = is_write ? ch.inflightWrites : ch.inflightReads;
+    std::uint32_t &head = is_write ? ch.writeHead : ch.readHead;
+    Tick &oldest = inflight[head];
     Tick t = issue + _tCtrl;
-    t = queueAdmission(inflight, t);
+    if (oldest > t)
+        t = oldest;
 
     // Injected maintenance blackout: the bank is unavailable for a
     // while, on top of whatever it was already doing.
@@ -136,9 +162,11 @@ Dram::access(std::uint64_t addr, Tick issue, bool is_write)
     // occupancy would compound delays for bursty streams.
     bank.freeAt = ready + _tBurst + (is_write ? _tWr : 0);
 
-    // Record completion for queue modelling.
-    auto oldest = std::min_element(inflight.begin(), inflight.end());
-    *oldest = done;
+    // Record completion for queue modelling: overwrite the slot we
+    // just waited on and advance the ring head.
+    oldest = done;
+    if (++head == inflight.size())
+        head = 0;
 
     if (is_write) {
         _writes.inc();

@@ -133,10 +133,18 @@ class Dram
         std::vector<Bank> banks;
         Tick readBusFreeAt = 0;   ///< read data bus busy until
         Tick writeBusFreeAt = 0;  ///< write drain bandwidth budget
-        /** Completion times of recent reads (read queue depth). */
+        /**
+         * Completion times of recent reads (read queue depth), a ring
+         * buffer: per-direction completion times never decrease (each
+         * transfer starts no earlier than the previous one ends), so
+         * the oldest entry is always the minimum and a head index
+         * replaces a full scan.
+         */
         std::vector<Tick> inflightReads;
+        std::uint32_t readHead = 0;  ///< oldest slot in inflightReads
         /** Completion times of recent writes (write buffer depth). */
         std::vector<Tick> inflightWrites;
+        std::uint32_t writeHead = 0; ///< oldest slot in inflightWrites
     };
 
     /** Map an address to (channel, bank, row). */
@@ -146,14 +154,21 @@ class Dram
     /** Common access path for reads and writes. */
     Tick access(std::uint64_t addr, Tick issue, bool is_write);
 
-    /** Queueing delay: wait for a free slot in the given queue. */
-    Tick queueAdmission(std::vector<Tick> &inflight, Tick t);
-
     DramConfig _cfg;
     std::vector<Channel> _channels;
     fault::FaultPlan *_faultPlan = nullptr;
 
     Tick _tCas, _tRcd, _tRp, _tBurst, _tCtrl, _tWr;
+
+    /**
+     * Shift/mask form of decode(), valid when every geometry parameter
+     * is a power of two (the default and every realistic config).
+     * Falls back to the division form otherwise.
+     */
+    bool _pow2Decode = false;
+    std::uint32_t _lineShift = 0, _chanShift = 0, _bankShift = 0,
+                  _rowShift = 0;
+    std::uint64_t _chanMask = 0, _bankMask = 0;
 
     sim::Counter _reads, _writes, _rowHits, _rowMisses;
     Tick _readLatencySum = 0;

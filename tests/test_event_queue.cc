@@ -133,6 +133,68 @@ TEST(EventQueueDeathTest, SchedulingInThePastPanics)
     EXPECT_DEATH(eq.schedule(50, [] {}), "past");
 }
 
+TEST(EventQueue, StaleIdAfterSlotReuseCancelsNothing)
+{
+    EventQueue eq;
+    auto a = eq.schedule(1, [] {});
+    eq.run();
+    // The slot freed by A is recycled for B with a bumped generation:
+    // the stale id must neither cancel nor alias the new event.
+    bool b_ran = false;
+    auto b = eq.schedule(2, [&] { b_ran = true; });
+    EXPECT_FALSE(eq.cancel(a));
+    EXPECT_EQ(eq.pending(), 1u);
+    eq.run();
+    EXPECT_TRUE(b_ran);
+    EXPECT_FALSE(eq.cancel(b));
+}
+
+TEST(EventQueue, SameTickSelfRescheduleRunsAfterExistingEvents)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(5, [&] {
+        order.push_back(0);
+        // Scheduled mid-run at the current tick: runs after the
+        // events already queued for tick 5, in insertion order.
+        eq.schedule(5, [&] { order.push_back(2); });
+        eq.schedule(5, [&] { order.push_back(3); });
+    });
+    eq.schedule(5, [&] { order.push_back(1); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+    EXPECT_EQ(eq.now(), 5u);
+}
+
+/**
+ * The entry pool recycles slots: a million schedule/cancel/run cycles
+ * must not grow the backing storage past the handful of entries that
+ * are ever simultaneously live.
+ */
+TEST(EventQueue, PoolReusedAcrossManyScheduleCancelCycles)
+{
+    EventQueue eq;
+    // Prime: a few live events at once, so the pool has some depth.
+    for (int i = 0; i < 4; ++i)
+        eq.schedule(1, [] {});
+    eq.run();
+    const std::size_t primed = eq.entriesAllocated();
+
+    std::uint64_t fired = 0;
+    for (int i = 0; i < 1'000'000; ++i) {
+        Tick when = eq.now() + static_cast<Tick>(i % 3 + 1);
+        auto id = eq.schedule(when, [&fired] { ++fired; });
+        if (i % 2 == 0) {
+            EXPECT_TRUE(eq.cancel(id));
+        } else {
+            eq.run();
+        }
+    }
+    eq.run();
+    EXPECT_EQ(fired, 500'000u);
+    EXPECT_EQ(eq.entriesAllocated(), primed);
+}
+
 /** Stress: interleaved schedule/cancel stays consistent. */
 TEST(EventQueue, StressManyEventsDeterministic)
 {

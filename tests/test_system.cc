@@ -282,6 +282,54 @@ TEST(System, FrequencyObserverSeesTransition)
     EXPECT_EQ(sys.coreDomain().transitions(), 1u);
 }
 
+/**
+ * Registering an observer from inside another observer's notification
+ * (i.e. mid-run, while the observer list is being walked) must be
+ * safe, and the new observer must see every subsequent transition.
+ * Guards the reallocation-during-notification hazard in
+ * System::addFrequencyObserver / setFrequency.
+ */
+TEST(System, ObserverRegisteredMidRunSeesLaterTransitions)
+{
+    System sys(smallConfig(1));
+    std::vector<std::uint32_t> late_seen;
+    bool registered = false;
+    // Several pre-registered observers so the vector is near capacity
+    // when the mid-notification registration happens.
+    for (int i = 0; i < 3; ++i)
+        sys.addFrequencyObserver([](Frequency, Tick) {});
+    sys.addFrequencyObserver([&](Frequency, Tick) {
+        if (registered)
+            return;
+        registered = true;
+        sys.addFrequencyObserver([&](Frequency f, Tick) {
+            late_seen.push_back(f.toMHz());
+        });
+    });
+    ThreadId main = sys.addThread(
+        "main", std::make_unique<LambdaProgram>(
+                    [&sys, step = 0](ThreadContext &) mutable -> Action {
+                        switch (step++) {
+                          case 0:
+                            sys.setFrequency(Frequency::ghz(2.0));
+                            return Action::makeCompute(1000);
+                          case 1:
+                            sys.setFrequency(Frequency::ghz(3.0));
+                            return Action::makeCompute(1000);
+                          case 2:
+                            sys.setFrequency(Frequency::ghz(4.0));
+                            return Action::makeCompute(1000);
+                          default:
+                            return Action::makeExit();
+                        }
+                    }));
+    sys.setMainThread(main);
+    EXPECT_TRUE(sys.run().finished);
+    // Registered during the 2 GHz notification: sees every transition
+    // after that one, and none twice.
+    EXPECT_EQ(late_seen, (std::vector<std::uint32_t>{3000u, 4000u}));
+}
+
 TEST(System, DeadlockedRunReturnsUnfinished)
 {
     System sys(smallConfig(1));
