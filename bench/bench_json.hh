@@ -56,6 +56,14 @@ class SweepJsonRecord
         return *this;
     }
 
+    /** Add a pre-serialized JSON value (object/array) verbatim. */
+    SweepJsonRecord &
+    addRaw(const std::string &key, const std::string &json)
+    {
+        _os << ",\"" << key << "\":" << json;
+        return *this;
+    }
+
     /** Add a 64-bit fingerprint as a hex string (JSON-safe). */
     SweepJsonRecord &
     addHex(const std::string &key, std::uint64_t v)

@@ -6,8 +6,10 @@
 #ifndef DVFS_BENCH_BENCH_UTIL_HH
 #define DVFS_BENCH_BENCH_UTIL_HH
 
+#include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "exp/sweep/pool.hh"
@@ -65,6 +67,65 @@ class Args
     std::vector<std::string> _args;
 };
 
+/** Hardware thread count, never zero. */
+inline unsigned
+hardwareWidth()
+{
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+/**
+ * A harness binary's sweep pool width, with provenance.
+ *
+ * An explicit --workers=N flag or DVFS_SWEEP_WORKERS env var is
+ * honored verbatim (oversubscription on purpose stays possible);
+ * otherwise the default is the hardware width — i.e. defaults are
+ * clamped to hardware_concurrency(), since oversubscribing a sweep of
+ * CPU-bound cells only adds scheduling noise (BENCH_sweep.json shows
+ * workers=8 at 0.86x serial on a single-thread host). Both the
+ * requested and the effective width go into the JSONL record so the
+ * perf trajectory stays interpretable across hosts.
+ */
+struct WorkerChoice {
+    unsigned requested;  ///< what flag/env/default asked for
+    unsigned effective;  ///< what the pool will actually use
+    bool isExplicit;     ///< came from --workers or DVFS_SWEEP_WORKERS
+};
+
+inline WorkerChoice
+chooseWorkers(const Args &args)
+{
+    long v = args.getInt("workers", 0);
+    if (v >= 1) {
+        auto w = static_cast<unsigned>(v);
+        return {w, w, true};
+    }
+    if (const char *env = std::getenv("DVFS_SWEEP_WORKERS")) {
+        char *end = nullptr;
+        long ev = std::strtol(env, &end, 10);
+        if (end != env && ev >= 1) {
+            auto w = static_cast<unsigned>(ev);
+            return {w, w, true};
+        }
+    }
+    unsigned hw = hardwareWidth();
+    return {hw, hw, false};
+}
+
+/**
+ * Clamp a default (non-explicit) worker count to the hardware width.
+ * Explicit choices pass through untouched.
+ */
+inline unsigned
+clampWorkers(unsigned w, bool is_explicit)
+{
+    if (is_explicit)
+        return w;
+    unsigned hw = hardwareWidth();
+    return w < hw ? w : hw;
+}
+
 /**
  * Sweep pool width for a harness binary: --workers=N if given, else
  * DVFS_SWEEP_WORKERS / hardware_concurrency via defaultWorkers().
@@ -72,9 +133,7 @@ class Args
 inline unsigned
 sweepWorkers(const Args &args)
 {
-    long v = args.getInt("workers", 0);
-    return v >= 1 ? static_cast<unsigned>(v)
-                  : exp::sweep::defaultWorkers();
+    return chooseWorkers(args).effective;
 }
 
 } // namespace dvfs::bench

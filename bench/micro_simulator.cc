@@ -13,6 +13,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "bench_json.hh"
 #include "exp/experiment.hh"
@@ -142,12 +145,16 @@ namespace {
  * either/or; the trajectory file needs append semantics).
  */
 void
-appendSweepRecord(unsigned workers, unsigned repeat, double serial_ms,
-                  double wall_ms, std::uint64_t digest, std::size_t cells)
+appendSweepRecord(unsigned requested, unsigned effective, unsigned repeat,
+                  double serial_ms, double wall_ms, std::uint64_t digest,
+                  std::size_t cells, const std::string &json_path)
 {
     dvfs::bench::SweepJsonRecord rec(
-        "micro_simulator", "synthetic workers=" + std::to_string(workers));
-    rec.add("workers", static_cast<std::uint64_t>(workers))
+        "micro_simulator",
+        "synthetic workers=" + std::to_string(effective));
+    rec.add("workers", static_cast<std::uint64_t>(effective))
+        .add("requested_workers", static_cast<std::uint64_t>(requested))
+        .add("effective_workers", static_cast<std::uint64_t>(effective))
         .add("cells", static_cast<std::uint64_t>(cells))
         .add("repeat", static_cast<std::uint64_t>(repeat))
         .add("wall_ms", wall_ms)
@@ -155,7 +162,50 @@ appendSweepRecord(unsigned workers, unsigned repeat, double serial_ms,
              static_cast<double>(cells) / (wall_ms / 1000.0))
         .add("speedup_vs_serial", serial_ms / wall_ms)
         .addHex("fingerprint", digest);
-    rec.appendTo("BENCH_sweep.json");
+    rec.appendTo(json_path);
+}
+
+/** A trajectory configuration: what was asked vs what will run. */
+struct WorkerCfg {
+    unsigned requested;
+    unsigned effective;
+};
+
+/**
+ * Worker counts for the appended trajectory. The default {1, 2, 8}
+ * ladder is clamped to the hardware width — oversubscribed sweeps
+ * only measure scheduler noise — and configurations that collapse to
+ * an already-present width are dropped. An explicit --workers=N is
+ * honored verbatim (alongside the serial reference).
+ */
+std::vector<WorkerCfg>
+trajectoryWorkers(long explicit_workers)
+{
+    std::vector<WorkerCfg> cfgs;
+    if (explicit_workers >= 1) {
+        auto w = static_cast<unsigned>(explicit_workers);
+        cfgs.push_back({1, 1});
+        if (w != 1)
+            cfgs.push_back({w, w});
+        return cfgs;
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    if (hw == 0)
+        hw = 1;
+    for (unsigned w : {1u, 2u, 8u}) {
+        const unsigned eff = std::min(w, hw);
+        bool dup = false;
+        for (const auto &c : cfgs)
+            dup = dup || c.effective == eff;
+        if (dup) {
+            std::fprintf(stderr,
+                         "micro_simulator: workers=%u clamped to hardware "
+                         "width %u (already measured), skipping\n", w, hw);
+            continue;
+        }
+        cfgs.push_back({w, eff});
+    }
+    return cfgs;
 }
 
 /**
@@ -163,7 +213,8 @@ appendSweepRecord(unsigned workers, unsigned repeat, double serial_ms,
  *         same fingerprint.
  */
 bool
-emitSweepTrajectory(unsigned repeat)
+emitSweepTrajectory(unsigned repeat, long explicit_workers,
+                    const std::string &json_path)
 {
     exp::sweep::SweepSpec spec;
     spec.workloads = {wl::syntheticSmall(2, 40)};
@@ -174,12 +225,12 @@ emitSweepTrajectory(unsigned repeat)
 
     bool consistent = true;
     double serial_ms = 0.0;
-    for (unsigned workers : {1u, 2u, 8u}) {
+    for (const WorkerCfg &cfg : trajectoryWorkers(explicit_workers)) {
         double best_ms = 0.0;
         std::uint64_t digest = 0;
         for (unsigned r = 0; r < repeat; ++r) {
             exp::sweep::SweepRunner::Options ro;
-            ro.workers = workers;
+            ro.workers = cfg.effective;
             auto t0 = std::chrono::steady_clock::now();
             auto res = exp::sweep::SweepRunner(spec, ro).run();
             auto t1 = std::chrono::steady_clock::now();
@@ -197,10 +248,10 @@ emitSweepTrajectory(unsigned repeat)
                 consistent = consistent && h.digest() == digest;
             }
         }
-        if (workers == 1)
-            serial_ms = best_ms;
-        appendSweepRecord(workers, repeat, serial_ms, best_ms, digest,
-                          cells);
+        if (serial_ms == 0.0)
+            serial_ms = best_ms;  // first config is the serial reference
+        appendSweepRecord(cfg.requested, cfg.effective, repeat, serial_ms,
+                          best_ms, digest, cells, json_path);
     }
     return consistent;
 }
@@ -210,10 +261,12 @@ emitSweepTrajectory(unsigned repeat)
 int
 main(int argc, char **argv)
 {
-    // --repeat=N is ours, not google-benchmark's: min-of-N wall time
-    // for the appended sweep trajectory records. Strip it before
-    // benchmark::Initialize rejects it as unrecognized.
+    // --repeat/--workers/--json are ours, not google-benchmark's:
+    // they shape the appended sweep trajectory records. Strip them
+    // before benchmark::Initialize rejects them as unrecognized.
     unsigned repeat = 1;
+    long workers = 0;  // 0: default ladder, clamped to hardware width
+    std::string json_path = "BENCH_sweep.json";
     int kept = 1;
     for (int i = 1; i < argc; ++i) {
         const char *arg = argv[i];
@@ -221,6 +274,10 @@ main(int argc, char **argv)
             long v = std::atol(arg + 9);
             if (v > 1)
                 repeat = static_cast<unsigned>(v);
+        } else if (std::strncmp(arg, "--workers=", 10) == 0) {
+            workers = std::atol(arg + 10);
+        } else if (std::strncmp(arg, "--json=", 7) == 0) {
+            json_path = arg + 7;
         } else {
             argv[kept++] = argv[i];
         }
@@ -233,7 +290,7 @@ main(int argc, char **argv)
         return 1;
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
-    if (!emitSweepTrajectory(repeat)) {
+    if (!emitSweepTrajectory(repeat, workers, json_path)) {
         std::fprintf(stderr,
                      "micro_simulator: FINGERPRINT MISMATCH across "
                      "repeats — runs are not deterministic\n");

@@ -16,10 +16,18 @@
  *
  * Usage: sweep_bench [--benchmarks=4] [--seeds=1] [--workers=N]
  *                    [--repeat=N] [--json=BENCH_sweep.json] [--progress]
+ *                    [--profile] [--expect-fingerprint=0x...]
  *
  * --repeat=N measures each configuration N times and reports the
  * minimum wall time (noise floor on loaded machines); every repeat
  * must reproduce the same fingerprint.
+ *
+ * --profile reports the hot-path profiler's per-subsystem wall-time
+ * breakdown for each configuration and embeds it in the JSONL record;
+ * it needs a DVFS_PROFILE=ON build (otherwise a warning is printed
+ * and the run proceeds unprofiled). --expect-fingerprint fails the
+ * run unless the serial digest matches the given value — CI uses it
+ * to prove the profiled build is bit-identical to the plain one.
  */
 
 #include <algorithm>
@@ -35,6 +43,7 @@
 #include "exp/sweep/fingerprint.hh"
 #include "exp/sweep/sweep.hh"
 #include "exp/table.hh"
+#include "sim/profile.hh"
 
 using namespace dvfs;
 
@@ -55,14 +64,61 @@ struct Measurement {
     double wallMs;  ///< min over repeats
     std::uint64_t digest;
     bool repeatsConsistent = true;
+    sim::prof::Snapshot profile;  ///< all-zero unless profiling
 };
+
+/** Serialize a profiler snapshot as a JSON object. */
+std::string
+profileJson(const sim::prof::Snapshot &snap)
+{
+    const double total = static_cast<double>(snap.totalNs());
+    std::ostringstream os;
+    os << "{\"total_ns\":" << snap.totalNs();
+    for (unsigned i = 0; i < sim::prof::kSubsystemCount; ++i) {
+        const auto &e = snap.bySubsystem[i];
+        os << ",\"" << sim::prof::subsystemName(
+                           static_cast<sim::prof::Subsystem>(i))
+           << "\":{\"self_ns\":" << e.selfNs << ",\"enters\":" << e.enters
+           << ",\"pct\":"
+           << (total > 0.0 ? 100.0 * static_cast<double>(e.selfNs) / total
+                           : 0.0)
+           << "}";
+    }
+    os << "}";
+    return os.str();
+}
+
+void
+printProfile(const sim::prof::Snapshot &snap, unsigned workers)
+{
+    const double total = static_cast<double>(snap.totalNs());
+    std::cout << "profile (workers=" << workers << "):\n";
+    exp::Table t({"subsystem", "self ms", "%", "enters"});
+    for (unsigned i = 0; i < sim::prof::kSubsystemCount; ++i) {
+        const auto &e = snap.bySubsystem[i];
+        t.addRow({sim::prof::subsystemName(
+                      static_cast<sim::prof::Subsystem>(i)),
+                  exp::Table::fmt(static_cast<double>(e.selfNs) / 1e6, 1),
+                  exp::Table::fmt(total > 0.0
+                                      ? 100.0 *
+                                            static_cast<double>(e.selfNs) /
+                                            total
+                                      : 0.0,
+                                  1),
+                  std::to_string(e.enters)});
+    }
+    t.print(std::cout);
+    std::cout << "\n";
+}
 
 Measurement
 measure(const exp::sweep::SweepSpec &spec, unsigned workers,
-        unsigned repeat, bool progress)
+        unsigned repeat, bool progress, bool profiling)
 {
     Measurement m;
     m.workers = workers;
+    if (profiling)
+        sim::prof::reset();
     for (unsigned r = 0; r < repeat; ++r) {
         exp::sweep::SweepRunner::Options ro;
         ro.workers = workers;
@@ -85,6 +141,8 @@ measure(const exp::sweep::SweepSpec &spec, unsigned workers,
                 m.repeatsConsistent = false;
         }
     }
+    if (profiling)
+        m.profile = sim::prof::snapshot();
     return m;
 }
 
@@ -99,9 +157,17 @@ main(int argc, char **argv)
     const auto n_seeds = static_cast<std::size_t>(args.getInt("seeds", 1));
     const std::string json_path = args.get("json", "BENCH_sweep.json");
     const bool progress = args.has("progress");
-    const unsigned requested = bench::sweepWorkers(args);
+    const bench::WorkerChoice choice = bench::chooseWorkers(args);
     const auto repeat = static_cast<unsigned>(
         std::max(1L, args.getInt("repeat", 1)));
+
+    bool profiling = args.has("profile");
+    if (profiling && !sim::prof::kEnabled) {
+        std::cerr << "sweep_bench: --profile ignored: profiler not "
+                     "compiled in (configure with -DDVFS_PROFILE=ON)\n";
+        profiling = false;
+    }
+    const std::string expect_fp = args.get("expect-fingerprint");
 
     exp::sweep::SweepSpec spec;
     for (const auto &params : wl::dacapoSuite()) {
@@ -114,9 +180,7 @@ main(int argc, char **argv)
     spec.seeds = exp::sweep::SweepSpec::replicateSeeds(42, n_seeds);
 
     const std::size_t cells = spec.cellCount();
-    unsigned hw = std::thread::hardware_concurrency();
-    if (hw == 0)
-        hw = 1;
+    const unsigned hw = bench::hardwareWidth();
 
     std::cout << "sweep_bench: " << spec.workloads.size()
               << " benchmarks x " << spec.frequencies.size()
@@ -124,19 +188,22 @@ main(int argc, char **argv)
               << cells << " cells, " << hw << " hardware threads\n\n";
 
     // Worker counts to measure: serial reference first, then powers
-    // of two up to the hardware width, then the requested count.
+    // of two up to the hardware width. An explicit --workers /
+    // DVFS_SWEEP_WORKERS is measured as asked, even beyond the
+    // hardware width; the default list never oversubscribes.
     std::vector<unsigned> counts = {1};
     for (unsigned w = 2; w <= hw; w *= 2)
         counts.push_back(w);
     if (hw > 1 && counts.back() != hw)
         counts.push_back(hw);
-    if (requested > 1 &&
-        std::find(counts.begin(), counts.end(), requested) == counts.end())
-        counts.push_back(requested);
+    if (choice.isExplicit && choice.requested > 1 &&
+        std::find(counts.begin(), counts.end(), choice.requested) ==
+            counts.end())
+        counts.push_back(choice.requested);
 
     std::vector<Measurement> runs;
     for (unsigned w : counts)
-        runs.push_back(measure(spec, w, repeat, progress));
+        runs.push_back(measure(spec, w, repeat, progress, profiling));
     const Measurement &serial = runs.front();
 
     exp::Table table(
@@ -159,6 +226,8 @@ main(int argc, char **argv)
         bench::SweepJsonRecord rec("sweep_bench",
                                    "workers=" + std::to_string(m.workers));
         rec.add("workers", static_cast<std::uint64_t>(m.workers))
+            .add("requested_workers", static_cast<std::uint64_t>(m.workers))
+            .add("effective_workers", static_cast<std::uint64_t>(m.workers))
             .add("cells", static_cast<std::uint64_t>(cells))
             .add("repeat", static_cast<std::uint64_t>(repeat))
             .add("wall_ms", m.wallMs)
@@ -167,11 +236,18 @@ main(int argc, char **argv)
             .addHex("fingerprint", m.digest)
             .add("fingerprint_matches_serial",
                  static_cast<std::uint64_t>(ok ? 1 : 0));
+        if (profiling)
+            rec.addRaw("profile", profileJson(m.profile));
         rec.appendTo(json_path);
     }
     table.print(std::cout);
     std::cout << "\nappended " << runs.size() << " records to "
-              << json_path << "\n";
+              << json_path << "\n\n";
+
+    if (profiling) {
+        for (const auto &m : runs)
+            printProfile(m.profile, m.workers);
+    }
 
     if (mismatch) {
         std::cerr << "sweep_bench: FINGERPRINT MISMATCH — parallel "
@@ -179,5 +255,18 @@ main(int argc, char **argv)
         return 1;
     }
     std::cout << "all fingerprints match the serial reference\n";
+
+    if (!expect_fp.empty()) {
+        const std::uint64_t want =
+            std::stoull(expect_fp, nullptr, 16);
+        if (serial.digest != want) {
+            std::cerr << "sweep_bench: fingerprint "
+                      << std::hex << serial.digest
+                      << " does not match expected " << want << std::dec
+                      << "\n";
+            return 1;
+        }
+        std::cout << "fingerprint matches --expect-fingerprint\n";
+    }
     return 0;
 }

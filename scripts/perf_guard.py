@@ -1,22 +1,28 @@
 #!/usr/bin/env python3
 """Soft performance-regression guard over BENCH_sweep.json trajectories.
 
-Compares freshly measured dvfs-sweep-bench-v1 records against the last
-committed record for the same configuration (bench + run + cells,
-preferring rows from a machine with the same hardware_threads) and
-emits a GitHub Actions ::warning:: annotation when throughput dropped
-by more than the threshold. Always exits 0: wall-clock numbers on
-shared CI runners are noisy, so the guard annotates instead of
-failing; a real regression shows up as the warning persisting across
-commits.
+Compares freshly measured dvfs-sweep-bench-v1 records — from any
+emitting bench, i.e. both sweep_bench and micro_simulator rows —
+against the last committed record for the same configuration (bench +
+run + cells, preferring rows from a machine with the same
+hardware_threads) and emits a GitHub Actions ::warning:: annotation
+when throughput dropped by more than the threshold. Always exits 0:
+wall-clock numbers on shared CI runners are noisy, so the guard
+annotates instead of failing; a real regression shows up as the
+warning persisting across commits.
+
+When a step-summary file is available (--summary, defaulting to the
+GITHUB_STEP_SUMMARY env var), a per-configuration markdown delta table
+(last committed vs current cells/s and %) is appended to it.
 
 Usage:
   perf_guard.py --fresh NEW.json [--baseline BENCH_sweep.json]
-                [--threshold 0.15]
+                [--threshold 0.15] [--summary FILE]
 """
 
 import argparse
 import json
+import os
 import sys
 
 
@@ -56,6 +62,30 @@ def latest_baseline(baseline, rec):
     return pool[-1] if pool else None
 
 
+def write_summary(path, rows):
+    """Append a markdown delta table to the CI step summary."""
+    lines = [
+        "### Sweep throughput vs last committed trajectory",
+        "",
+        "| configuration | baseline cells/s | current cells/s | delta |",
+        "|---|---:|---:|---:|",
+    ]
+    for config, ref, now in rows:
+        if ref is None:
+            lines.append(f"| {config} | — | {now:.2f} | n/a |")
+        else:
+            delta = (now / ref - 1) * 100
+            lines.append(
+                f"| {config} | {ref:.2f} | {now:.2f} | {delta:+.1f}% |")
+    lines.append("")
+    try:
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write("\n".join(lines))
+    except OSError as exc:
+        print(f"perf_guard: cannot write summary {path}: {exc}",
+              file=sys.stderr)
+
+
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("--fresh", required=True,
@@ -65,6 +95,10 @@ def main():
     ap.add_argument("--threshold", type=float, default=0.15,
                     help="relative cells_per_sec drop that triggers a "
                          "warning (default 0.15)")
+    ap.add_argument("--summary",
+                    default=os.environ.get("GITHUB_STEP_SUMMARY"),
+                    help="file to append the markdown delta table to "
+                         "(default: $GITHUB_STEP_SUMMARY)")
     args = ap.parse_args()
 
     fresh = load_records(args.fresh)
@@ -75,26 +109,34 @@ def main():
         return 0
 
     warned = 0
+    summary_rows = []
     for rec in fresh:
         base = latest_baseline(baseline, rec)
         now = rec.get("cells_per_sec")
-        if base is None or not now:
-            print(f"perf_guard: {rec.get('bench')}/{rec.get('run')}: "
-                  "no comparable baseline row, skipping")
+        config = f"{rec.get('bench')}/{rec.get('run')}"
+        if not now:
+            continue
+        if base is None:
+            print(f"perf_guard: {config}: no comparable baseline row, "
+                  "skipping")
+            summary_rows.append((config, None, now))
             continue
         ref = base.get("cells_per_sec")
         if not ref:
             continue
+        summary_rows.append((config, ref, now))
         ratio = now / ref
-        line = (f"{rec.get('bench')}/{rec.get('run')}: "
-                f"{now:.2f} cells/s vs baseline {ref:.2f} "
+        line = (f"{config}: {now:.2f} cells/s vs baseline {ref:.2f} "
                 f"({(ratio - 1) * 100:+.1f}%)")
         if ratio < 1.0 - args.threshold:
             # GitHub Actions annotation; informational elsewhere.
-            print(f"::warning title=sweep_bench perf regression::{line}")
+            print(f"::warning title=sweep perf regression::{line}")
             warned += 1
         else:
             print(f"perf_guard: {line}")
+
+    if args.summary and summary_rows:
+        write_summary(args.summary, summary_rows)
 
     if warned:
         print(f"perf_guard: {warned} configuration(s) regressed past "

@@ -4,6 +4,7 @@
 
 #include "fault/fault_plan.hh"
 #include "sim/log.hh"
+#include "sim/profile.hh"
 
 namespace dvfs::os {
 
@@ -279,6 +280,7 @@ System::schedIn(Thread &t, std::uint32_t c)
 void
 System::dispatch(Thread &t)
 {
+    DVFS_PROFILE_SCOPE(Os);
     if (_runEnded)
         return;
     DVFS_ASSERT(t.state == ThreadState::Running,
@@ -308,6 +310,7 @@ System::dispatch(Thread &t)
 void
 System::execute(Thread &t, Action a)
 {
+    DVFS_PROFILE_SCOPE(Os);
     DVFS_ASSERT(t.core >= 0, "executing on no core");
     uarch::CoreModel &core = *_cores[static_cast<std::uint32_t>(t.core)];
     const Tick start = frozenStart(_eq.now());

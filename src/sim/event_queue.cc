@@ -1,12 +1,17 @@
 #include "sim/event_queue.hh"
 
+#include <cstring>
+
 #include "sim/log.hh"
+#include "sim/profile.hh"
 
 namespace dvfs::sim {
 
 EventQueue::EventQueue()
-    : _now(0), _nextSeq(1), _live(0), _executed(0)
+    : _now(0), _cursor(0), _live(0), _executed(0), _levelMask(0),
+      _overflowMin(kTickNever)
 {
+    std::memset(_occ, 0, sizeof(_occ));
 }
 
 EventQueue::~EventQueue()
@@ -28,6 +33,7 @@ EventQueue::allocEntry()
     Entry *e = new Entry();
     e->slot = static_cast<std::uint32_t>(_entries.size());
     e->gen = 0;
+    e->home = kHomeNone;
     _entries.push_back(e);
     return e;
 }
@@ -37,6 +43,7 @@ EventQueue::freeEntry(Entry *e)
 {
     e->cb.reset();
     ++e->gen;  // invalidate any EventId still pointing at this entry
+    e->home = kHomeNone;
     if (_pool.size() < 4096)
         _pool.push_back(e);
     // Over-full pool: the entry stays parked in _entries and is
@@ -63,14 +70,46 @@ EventQueue::acquire(Tick when)
               static_cast<unsigned long long>(when),
               static_cast<unsigned long long>(_now));
     }
+    if (when == kTickNever)
+        panic("event scheduled at the kTickNever sentinel");
     Entry *e = allocEntry();
     e->when = when;
-    e->seq = _nextSeq++;
-    e->cancelled = false;
     e->live = true;
-    _heap.push(e);
+    place(e);
     ++_live;
     return e;
+}
+
+void
+EventQueue::unlink(Entry *e)
+{
+    const std::uint16_t home = e->home;
+    e->home = kHomeNone;
+    if (home == kHomeOverflow) {
+        remove(_overflow, e);
+        if (_overflow.head == nullptr) {
+            _overflowMin = kTickNever;
+        } else if (e->when == _overflowMin) {
+            // Rare (a cancelled far-future watchdog): rescan for the
+            // exact minimum so rebase() keeps landing on a real tick.
+            Tick min = kTickNever;
+            for (Entry *o = _overflow.head; o; o = o->next)
+                min = o->when < min ? o->when : min;
+            _overflowMin = min;
+        }
+        return;
+    }
+    DVFS_ASSERT(home != kHomeNone, "entry not on any wheel list");
+    List &l = _slots[home];
+    remove(l, e);
+    if (l.head == nullptr) {
+        const unsigned level = home >> kLevelBits;
+        const unsigned idx = home & (kSlotsPerLevel - 1);
+        _occ[level][idx / 64] &= ~(std::uint64_t{1} << (idx % 64));
+        const std::uint64_t *w = _occ[level];
+        if ((w[0] | w[1] | w[2] | w[3]) == 0)
+            _levelMask &= ~(1u << level);
+    }
 }
 
 bool
@@ -79,66 +118,160 @@ EventQueue::cancel(EventId id)
     Entry *e = resolve(id);
     if (!e)
         return false;
-    e->cancelled = true;
+    unlink(e);
     e->live = false;
     --_live;
+    freeEntry(e);
     return true;
 }
 
-EventQueue::Entry *
-EventQueue::pop()
+void
+EventQueue::cascade(unsigned level, unsigned idx)
 {
-    while (!_heap.empty()) {
-        Entry *e = _heap.top();
-        _heap.pop();
-        if (e->cancelled) {
-            freeEntry(e);
+    // The caller moved the cursor to this slot's start tick; every
+    // entry re-files at a strictly lower level (its tick now agrees
+    // with the cursor in all bytes at or above `level`). Walking the
+    // FIFO in order keeps same-tick entries in insertion order.
+    List &l = _slots[level * kSlotsPerLevel + idx];
+    Entry *e = l.head;
+    l.head = l.tail = nullptr;
+    _occ[level][idx / 64] &= ~(std::uint64_t{1} << (idx % 64));
+    const std::uint64_t *w = _occ[level];
+    if ((w[0] | w[1] | w[2] | w[3]) == 0)
+        _levelMask &= ~(1u << level);
+    while (e) {
+        Entry *n = e->next;
+        place(e);
+        e = n;
+    }
+}
+
+void
+EventQueue::rebase()
+{
+    // Wheel empty, overflow not: jump the cursor straight to the
+    // overflow minimum and pull in every overflow entry sharing its
+    // top-level epoch. Entries keep FIFO order both in the wheel
+    // (placed in list order) and in the residual overflow list, so
+    // same-tick insertion order survives the crossing.
+    DVFS_ASSERT(_levelMask == 0 && _overflow.head != nullptr,
+                "rebase without overflow work");
+    _cursor = _overflowMin;
+    const Tick epoch = _overflowMin >> kHorizonBits;
+    Entry *e = _overflow.head;
+    _overflow.head = _overflow.tail = nullptr;
+    Tick min = kTickNever;
+    while (e) {
+        Entry *n = e->next;
+        if ((e->when >> kHorizonBits) == epoch) {
+            place(e);
+        } else {
+            append(_overflow, e);
+            e->home = kHomeOverflow;
+            min = e->when < min ? e->when : min;
+        }
+        e = n;
+    }
+    _overflowMin = min;
+    DVFS_ASSERT(_levelMask != 0, "rebase produced an empty wheel");
+}
+
+EventQueue::List *
+EventQueue::advance(Tick limit, Tick *tick_out)
+{
+    for (;;) {
+        if (_levelMask == 0) {
+            if (_overflow.head == nullptr || _overflowMin >= limit)
+                return nullptr;
+            rebase();
             continue;
         }
-        return e;
+        const unsigned level =
+            static_cast<unsigned>(std::countr_zero(_levelMask));
+        const std::uint64_t *w = _occ[level];
+        unsigned idx = 0;
+        for (unsigned i = 0; i < kOccWords; ++i) {
+            if (w[i]) {
+                idx = i * 64 +
+                      static_cast<unsigned>(std::countr_zero(w[i]));
+                break;
+            }
+        }
+        // All occupied slots sit at or after the cursor's position on
+        // their level (wheel invariant), and the lowest non-empty
+        // level always holds the earliest tick, so the first set bit
+        // is the next thing to happen.
+        if (level == 0) {
+            const Tick t =
+                (_cursor & ~Tick{kSlotsPerLevel - 1}) | idx;
+            if (t >= limit)
+                return nullptr;
+            _cursor = t;
+            *tick_out = t;
+            return &_slots[idx];
+        }
+        const unsigned shift = level * kLevelBits;
+        const Tick span_mask = (Tick{1} << (shift + kLevelBits)) - 1;
+        const Tick start =
+            (_cursor & ~span_mask) | (Tick{idx} << shift);
+        if (start >= limit)
+            return nullptr;
+        _cursor = start;
+        cascade(level, idx);
     }
-    return nullptr;
+}
+
+void
+EventQueue::dispatch(Entry *e)
+{
+    unlink(e);
+    e->live = false;
+    --_live;
+    ++_executed;
+    // Invoke in place: the entry is already off the wheel, so the
+    // callback may schedule (including same-tick) or cancel freely;
+    // it just cannot be recycled until it returns.
+    e->cb();
+    freeEntry(e);
 }
 
 bool
 EventQueue::runOne()
 {
-    Entry *e = pop();
-    if (!e)
+    DVFS_PROFILE_SCOPE(Kernel);
+    Tick t;
+    List *slot = advance(kTickNever, &t);
+    if (!slot)
         return false;
-    DVFS_ASSERT(e->when >= _now, "event time went backwards");
-    _now = e->when;
-    e->live = false;
-    --_live;
-    ++_executed;
-    EventCallback cb = std::move(e->cb);
-    freeEntry(e);
-    cb();
+    DVFS_ASSERT(t >= _now, "event time went backwards");
+    _now = t;
+    dispatch(slot->head);
     return true;
 }
 
 std::uint64_t
 EventQueue::runUntil(Tick limit)
 {
+    DVFS_PROFILE_SCOPE(Kernel);
     std::uint64_t n = 0;
-    while (true) {
-        Entry *e = pop();
-        if (!e)
-            break;
-        if (e->when >= limit) {
-            // Put it back; it stays scheduled for a later call.
-            _heap.push(e);
-            _now = limit;
+    for (;;) {
+        Tick t;
+        List *slot = advance(limit, &t);
+        if (!slot) {
+            if (_live > 0)
+                _now = limit;  // events remain at or beyond the limit
             break;
         }
-        _now = e->when;
-        e->live = false;
-        --_live;
-        ++_executed;
-        ++n;
-        EventCallback cb = std::move(e->cb);
-        freeEntry(e);
-        cb();
+        DVFS_ASSERT(t >= _now, "event time went backwards");
+        _now = t;
+        // Batch dispatch: every entry here fires at exactly t, and a
+        // callback scheduling at the current tick appends to this very
+        // slot, so draining the head until the FIFO empties needs no
+        // wheel re-scan between entries.
+        while (Entry *e = slot->head) {
+            dispatch(e);
+            ++n;
+        }
     }
     return n;
 }
@@ -146,9 +279,20 @@ EventQueue::runUntil(Tick limit)
 std::uint64_t
 EventQueue::run()
 {
+    DVFS_PROFILE_SCOPE(Kernel);
     std::uint64_t n = 0;
-    while (runOne())
-        ++n;
+    for (;;) {
+        Tick t;
+        List *slot = advance(kTickNever, &t);
+        if (!slot)
+            break;
+        DVFS_ASSERT(t >= _now, "event time went backwards");
+        _now = t;
+        while (Entry *e = slot->head) {
+            dispatch(e);
+            ++n;
+        }
+    }
     return n;
 }
 

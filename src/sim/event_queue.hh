@@ -6,13 +6,23 @@
  * schedule callbacks at absolute ticks; the kernel dispatches them in
  * (tick, insertion-order) order, which makes simulations bitwise
  * deterministic for a given workload and configuration.
+ *
+ * The implementation is a hierarchical timing wheel (DESIGN.md §9):
+ * six levels of 256 slots indexed by successive bytes of the event
+ * tick, a far-future overflow FIFO beyond the 48-bit horizon, and an
+ * intrusive doubly-linked FIFO of pooled entries per slot. Schedule,
+ * cancel and dispatch are all O(1) amortized; the deterministic
+ * ordering contract — earliest tick first, insertion order within a
+ * tick — holds by construction because a tick maps to exactly one
+ * slot and slot lists are append-only FIFOs. The pre-wheel binary
+ * heap survives as ReferenceEventQueue for differential testing.
  */
 
 #ifndef DVFS_SIM_EVENT_QUEUE_HH
 #define DVFS_SIM_EVENT_QUEUE_HH
 
+#include <bit>
 #include <cstdint>
-#include <queue>
 #include <vector>
 
 #include "sim/inline_callback.hh"
@@ -42,12 +52,14 @@ using EventId = std::uint64_t;
 constexpr EventId kNoEvent = 0;
 
 /**
- * A deterministic discrete-event queue.
+ * A deterministic discrete-event queue over a hierarchical timing
+ * wheel.
  *
  * Events scheduled for the same tick fire in insertion order. Events
  * may schedule further events, including at the current tick (they run
  * after all previously-inserted same-tick events). Scheduling in the
- * past is a simulator bug and panics.
+ * past is a simulator bug and panics; so is scheduling at the
+ * kTickNever sentinel, which the wheel reserves as "no deadline".
  */
 class EventQueue
 {
@@ -68,7 +80,7 @@ class EventQueue
      * inline storage; captures larger than kEventCallbackBytes are a
      * compile-time error.
      *
-     * @param when Absolute tick, must be >= now().
+     * @param when Absolute tick, must be >= now() and != kTickNever.
      * @param cb   Callback to execute.
      * @return Handle usable with cancel().
      */
@@ -93,7 +105,9 @@ class EventQueue
      * Cancel a previously scheduled event.
      *
      * Cancelling an event that already fired (or was already cancelled)
-     * is a no-op and returns false.
+     * is a no-op and returns false. Cancellation is eager: the entry is
+     * unlinked from its wheel slot (or the overflow list) and recycled
+     * immediately, so parked far-future timers never pin pool entries.
      */
     bool cancel(EventId id);
 
@@ -115,7 +129,9 @@ class EventQueue
      *
      * Events scheduled at exactly @p limit are not executed; time
      * stops at the last executed event (or @p limit if provided and
-     * events remain beyond it).
+     * events remain beyond it). Same-tick events are batch-dispatched:
+     * a slot's FIFO is drained without re-consulting the wheel between
+     * entries.
      *
      * @return Number of events executed.
      */
@@ -135,6 +151,16 @@ class EventQueue
     std::size_t entriesAllocated() const { return _entries.size(); }
 
   private:
+    /// @name Wheel geometry
+    /// @{
+    static constexpr unsigned kLevelBits = 8;
+    static constexpr unsigned kSlotsPerLevel = 1u << kLevelBits;  // 256
+    static constexpr unsigned kLevels = 6;
+    /** Ticks addressable by the wheel before the overflow list. */
+    static constexpr unsigned kHorizonBits = kLevels * kLevelBits; // 48
+    static constexpr unsigned kOccWords = kSlotsPerLevel / 64;     // 4
+    /// @}
+
     /**
      * Entries are pooled and identified by a permanent slot plus a
      * per-reuse generation; an EventId packs (slot+1, generation), so
@@ -143,16 +169,28 @@ class EventQueue
      * rejected by the generation check. The callback's captures live
      * inside the entry (EventCallback is inline storage), so a
      * schedule/fire cycle through the pool performs zero heap
-     * allocations.
+     * allocations. next/prev link the entry into its wheel slot's
+     * FIFO (or the overflow list); `home` records which list so
+     * cancel can unlink eagerly.
      */
     struct Entry {
         Tick when;
-        std::uint64_t seq;   ///< insertion order (same-tick FIFO)
+        Entry *next;
+        Entry *prev;
         EventCallback cb;
         std::uint32_t slot;  ///< permanent index into _entries
         std::uint32_t gen;   ///< bumped on retire; stale ids mismatch
-        bool cancelled;
+        std::uint16_t home;  ///< level<<8|idx, kHomeOverflow, kHomeNone
         bool live;           ///< scheduled and not yet fired/cancelled
+    };
+
+    static constexpr std::uint16_t kHomeOverflow = 0xFFFF;
+    static constexpr std::uint16_t kHomeNone = 0xFFFE;
+
+    /** Intrusive FIFO: append at tail, dispatch from head. */
+    struct List {
+        Entry *head = nullptr;
+        Entry *tail = nullptr;
     };
 
     /** Pack an entry's identity into an opaque EventId (never 0). */
@@ -162,30 +200,112 @@ class EventQueue
         return (static_cast<EventId>(slot) + 1) << 32 | gen;
     }
 
+    static void
+    append(List &l, Entry *e)
+    {
+        e->next = nullptr;
+        e->prev = l.tail;
+        if (l.tail)
+            l.tail->next = e;
+        else
+            l.head = e;
+        l.tail = e;
+    }
+
+    static void
+    remove(List &l, Entry *e)
+    {
+        if (e->prev)
+            e->prev->next = e->next;
+        else
+            l.head = e->next;
+        if (e->next)
+            e->next->prev = e->prev;
+        else
+            l.tail = e->prev;
+    }
+
     /**
-     * Validate @p when, pull an entry from the pool and enqueue it.
-     * The caller fills in the callback.
+     * File @p e into the wheel (or overflow) by its tick, relative to
+     * the wheel cursor. The level is the highest byte in which the
+     * tick differs from the cursor; the slot within the level is that
+     * byte of the tick. Requires e->when >= _cursor.
+     */
+    void
+    place(Entry *e)
+    {
+        const Tick diff = e->when ^ _cursor;
+        if (diff >> kHorizonBits) {
+            // Beyond the 48-bit horizon: park in the overflow FIFO.
+            if (_overflow.head == nullptr || e->when < _overflowMin)
+                _overflowMin = e->when;
+            append(_overflow, e);
+            e->home = kHomeOverflow;
+            return;
+        }
+        const unsigned level =
+            diff ? (63u - static_cast<unsigned>(std::countl_zero(diff))) /
+                       kLevelBits
+                 : 0u;
+        const unsigned idx = static_cast<unsigned>(
+            (e->when >> (level * kLevelBits)) & (kSlotsPerLevel - 1));
+        const unsigned s = level * kSlotsPerLevel + idx;
+        append(_slots[s], e);
+        e->home = static_cast<std::uint16_t>(s);
+        _occ[level][idx / 64] |= std::uint64_t{1} << (idx % 64);
+        _levelMask |= 1u << level;
+    }
+
+    /** Unlink @p e from whichever list `home` says it is on. */
+    void unlink(Entry *e);
+
+    /**
+     * Validate @p when, pull an entry from the pool and file it into
+     * the wheel. The caller fills in the callback.
      */
     Entry *acquire(Tick when);
 
-    /** Min-heap ordering: earliest tick first, then insertion order. */
-    struct Later {
-        bool
-        operator()(const Entry *a, const Entry *b) const
-        {
-            if (a->when != b->when)
-                return a->when > b->when;
-            return a->seq > b->seq;
-        }
-    };
+    /**
+     * Advance the cursor to the earliest pending tick, cascading
+     * upper-level slots and rebasing from the overflow list as
+     * needed. On success sets *tick_out (< @p limit), points the
+     * cursor at it, and returns the level-0 slot list holding every
+     * event at that tick. Returns nullptr if the queue is empty or
+     * the earliest event is at or beyond @p limit (cursor untouched
+     * past that point, so later schedules stay well-formed).
+     */
+    List *advance(Tick limit, Tick *tick_out);
 
-    Entry *pop();
+    /** Re-place every entry of an upper-level slot after the cursor
+     *  moved to the slot's start (FIFO order preserved). */
+    void cascade(unsigned level, unsigned idx);
 
-    Tick _now;
-    std::uint64_t _nextSeq;
+    /** Move the cursor to the overflow minimum and drain every
+     *  overflow entry in the cursor's new top-level epoch. */
+    void rebase();
+
+    /** Fire @p e (head of the current level-0 slot) in place. */
+    void dispatch(Entry *e);
+
+    Tick _now;     ///< reported simulated time
+    /**
+     * Wheel placement reference. Invariants: _cursor <= _now; every
+     * wheel entry's tick shares the cursor's top 16 bits and is >=
+     * _cursor; every overflow entry's tick has a strictly greater
+     * top-16-bit epoch. Unlike _now, the cursor never moves past an
+     * undispatched event, so slot indices computed from it always
+     * land at or after it on every level.
+     */
+    Tick _cursor;
     std::uint64_t _live;
     std::uint64_t _executed;
-    std::priority_queue<Entry *, std::vector<Entry *>, Later> _heap;
+
+    List _slots[kLevels * kSlotsPerLevel];
+    std::uint64_t _occ[kLevels][kOccWords];  ///< slot occupancy bitmaps
+    std::uint32_t _levelMask;                ///< bit l: level l non-empty
+    List _overflow;
+    Tick _overflowMin;  ///< exact min tick on _overflow when non-empty
+
     std::vector<Entry *> _entries;  ///< every entry ever allocated
     std::vector<Entry *> _pool;     ///< freelist of recycled entries
 

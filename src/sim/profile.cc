@@ -1,0 +1,95 @@
+#include "sim/profile.hh"
+
+namespace dvfs::sim::prof {
+
+const char *
+subsystemName(Subsystem s)
+{
+    switch (s) {
+      case Subsystem::Kernel: return "kernel";
+      case Subsystem::Core: return "core";
+      case Subsystem::Cache: return "cache";
+      case Subsystem::Dram: return "dram";
+      case Subsystem::Os: return "os";
+      case Subsystem::Other: return "other";
+      case Subsystem::Count: break;
+    }
+    return "?";
+}
+
+} // namespace dvfs::sim::prof
+
+#ifdef DVFS_PROFILE
+
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace dvfs::sim::prof {
+namespace detail {
+namespace {
+
+// Blocks are owned here, not by the threads: a sweep worker that
+// exits before snapshot() leaves its totals behind intact.
+std::mutex registryMutex;
+std::vector<std::unique_ptr<ThreadBlock>> registry;
+
+} // namespace
+
+std::uint64_t
+nowNs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+ThreadBlock &
+threadBlock()
+{
+    thread_local ThreadBlock *block = [] {
+        auto owned = std::make_unique<ThreadBlock>();
+        ThreadBlock *raw = owned.get();
+        raw->lastStamp = nowNs();
+        std::lock_guard<std::mutex> lock(registryMutex);
+        registry.push_back(std::move(owned));
+        return raw;
+    }();
+    return *block;
+}
+
+} // namespace detail
+
+void
+reset()
+{
+    std::lock_guard<std::mutex> lock(detail::registryMutex);
+    const std::uint64_t t = detail::nowNs();
+    for (auto &b : detail::registry) {
+        for (unsigned i = 0; i < kSubsystemCount; ++i) {
+            b->selfNs[i] = 0;
+            b->enters[i] = 0;
+        }
+        b->lastStamp = t;
+    }
+}
+
+Snapshot
+snapshot()
+{
+    Snapshot snap;
+    std::lock_guard<std::mutex> lock(detail::registryMutex);
+    for (const auto &b : detail::registry) {
+        for (unsigned i = 0; i < kSubsystemCount; ++i) {
+            snap.bySubsystem[i].selfNs += b->selfNs[i];
+            snap.bySubsystem[i].enters += b->enters[i];
+        }
+    }
+    return snap;
+}
+
+} // namespace dvfs::sim::prof
+
+#endif // DVFS_PROFILE

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Zero-cost-when-off hot-path wall-time profiler.
+ *
+ * Scoped RAII markers (DVFS_PROFILE_SCOPE) attribute host wall time to
+ * coarse simulator subsystems — event kernel, core model, cache
+ * hierarchy, DRAM, OS layer — using *self-time* accounting: entering a
+ * nested scope charges the elapsed time since the last boundary to the
+ * subsystem being left, so a storeLine that spends most of its time in
+ * Dram::write shows up mostly as Dram, not Cache.
+ *
+ * The whole mechanism compiles away unless DVFS_PROFILE is defined
+ * (CMake option of the same name): the macro expands to nothing and
+ * the query API returns an all-zero snapshot, so call sites need no
+ * conditional compilation. Instrumented builds must stay bit-identical
+ * in simulated behaviour — the profiler only ever *reads* the host
+ * clock and never feeds anything back into the simulation; CI's
+ * profile-smoke job holds it to that by diffing sweep fingerprints
+ * against the plain build.
+ *
+ * Aggregation is thread-friendly for the sweep engine: each thread
+ * accumulates into a thread_local block registered with a
+ * mutex-protected global list; snapshot() sums all blocks. Workers
+ * that exited before the snapshot have already flushed their totals
+ * (the blocks are owned by the registry, not the thread).
+ */
+
+#ifndef DVFS_SIM_PROFILE_HH
+#define DVFS_SIM_PROFILE_HH
+
+#include <array>
+#include <cstdint>
+
+namespace dvfs::sim::prof {
+
+/** Subsystems wall time is attributed to. */
+enum class Subsystem : unsigned {
+    Kernel,  ///< event queue: schedule/dispatch machinery
+    Core,    ///< core model: instruction/cluster/burst execution
+    Cache,   ///< cache hierarchy walks
+    Dram,    ///< DRAM bank/bus model
+    Os,      ///< scheduler, futexes, syscalls, managed runtime
+    Other,   ///< anything outside an instrumented scope
+    Count
+};
+
+inline constexpr unsigned kSubsystemCount =
+    static_cast<unsigned>(Subsystem::Count);
+
+/** Printable subsystem name ("kernel", "core", ...). */
+const char *subsystemName(Subsystem s);
+
+/** Aggregated self-time totals across all threads so far. */
+struct Snapshot {
+    struct Entry {
+        std::uint64_t selfNs = 0;   ///< wall time charged, nanoseconds
+        std::uint64_t enters = 0;   ///< scope entries
+    };
+    std::array<Entry, kSubsystemCount> bySubsystem{};
+
+    std::uint64_t
+    totalNs() const
+    {
+        std::uint64_t t = 0;
+        for (const auto &e : bySubsystem)
+            t += e.selfNs;
+        return t;
+    }
+};
+
+#ifdef DVFS_PROFILE
+
+/** True when the profiler is compiled in. */
+inline constexpr bool kEnabled = true;
+
+namespace detail {
+
+struct ThreadBlock {
+    std::uint64_t selfNs[kSubsystemCount] = {};
+    std::uint64_t enters[kSubsystemCount] = {};
+    unsigned current = static_cast<unsigned>(Subsystem::Other);
+    std::uint64_t lastStamp = 0;
+};
+
+/** The calling thread's block (registered on first use). */
+ThreadBlock &threadBlock();
+
+/** Monotonic host nanoseconds. */
+std::uint64_t nowNs();
+
+} // namespace detail
+
+/**
+ * RAII subsystem scope. On entry, charges elapsed time to the
+ * enclosing subsystem and switches attribution; on exit, charges the
+ * inner time and switches back.
+ */
+class Scope
+{
+  public:
+    explicit Scope(Subsystem s)
+    {
+        detail::ThreadBlock &b = detail::threadBlock();
+        const std::uint64_t t = detail::nowNs();
+        b.selfNs[b.current] += t - b.lastStamp;
+        b.lastStamp = t;
+        _prev = b.current;
+        b.current = static_cast<unsigned>(s);
+        ++b.enters[b.current];
+    }
+
+    ~Scope()
+    {
+        detail::ThreadBlock &b = detail::threadBlock();
+        const std::uint64_t t = detail::nowNs();
+        b.selfNs[b.current] += t - b.lastStamp;
+        b.lastStamp = t;
+        b.current = _prev;
+    }
+
+    Scope(const Scope &) = delete;
+    Scope &operator=(const Scope &) = delete;
+
+  private:
+    unsigned _prev;
+};
+
+/** Zero all accumulated totals (all threads registered so far). */
+void reset();
+
+/** Sum the totals of every thread that ever entered a scope. */
+Snapshot snapshot();
+
+#else // !DVFS_PROFILE
+
+inline constexpr bool kEnabled = false;
+
+class Scope
+{
+  public:
+    explicit Scope(Subsystem) {}
+};
+
+inline void reset() {}
+inline Snapshot snapshot() { return Snapshot{}; }
+
+#endif // DVFS_PROFILE
+
+} // namespace dvfs::sim::prof
+
+#ifdef DVFS_PROFILE
+#define DVFS_PROFILE_CAT2(a, b) a##b
+#define DVFS_PROFILE_CAT(a, b) DVFS_PROFILE_CAT2(a, b)
+/** Attribute the rest of the enclosing block to subsystem @p s. */
+#define DVFS_PROFILE_SCOPE(s)                                           \
+    ::dvfs::sim::prof::Scope DVFS_PROFILE_CAT(dvfs_prof_scope_,         \
+                                              __LINE__)(                \
+        ::dvfs::sim::prof::Subsystem::s)
+#else
+#define DVFS_PROFILE_SCOPE(s)                                           \
+    do {                                                                \
+    } while (0)
+#endif
+
+#endif // DVFS_SIM_PROFILE_HH

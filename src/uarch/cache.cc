@@ -3,6 +3,7 @@
 #include <bit>
 
 #include "sim/log.hh"
+#include "sim/profile.hh"
 
 namespace dvfs::uarch {
 
@@ -29,12 +30,15 @@ isPow2(std::uint64_t v)
 } // namespace
 
 Cache::Cache(std::string name, const CacheConfig &cfg)
-    : _name(std::move(name)), _cfg(cfg), _stamp(0)
+    : _name(std::move(name)), _cfg(cfg)
 {
     if (_cfg.lineBytes == 0 || !isPow2(_cfg.lineBytes))
         fatal("cache '%s': line size must be a power of two", _name.c_str());
     if (_cfg.assoc == 0)
         fatal("cache '%s': associativity must be positive", _name.c_str());
+    if (_cfg.assoc > 16)
+        fatal("cache '%s': associativity above 16 does not fit the "
+              "per-set recency word", _name.c_str());
     std::uint64_t lines = _cfg.sizeBytes / _cfg.lineBytes;
     if (lines == 0 || lines % _cfg.assoc != 0)
         fatal("cache '%s': size/assoc/line geometry does not divide",
@@ -46,7 +50,8 @@ Cache::Cache(std::string name, const CacheConfig &cfg)
         std::countr_zero(static_cast<std::uint64_t>(_cfg.lineBytes)));
     _setBits = static_cast<std::uint32_t>(
         std::countr_zero(static_cast<std::uint64_t>(_numSets)));
-    _ways.assign(static_cast<std::size_t>(_numSets) * _cfg.assoc, Way{});
+    _meta.assign(static_cast<std::size_t>(_numSets) * _cfg.assoc, 0);
+    _order.assign(_numSets, identityOrder(_cfg.assoc));
     _mru.assign(_numSets, 0);
 }
 
@@ -54,10 +59,16 @@ bool
 Cache::probe(std::uint64_t addr) const
 {
     const std::uint32_t set = setIndex(addr);
-    const std::uint64_t tag = tagOf(addr);
-    const Way *base = &_ways[static_cast<std::size_t>(set) * _cfg.assoc];
+    const std::uint64_t tag64 = tagOf(addr);
+    if (tag64 >> (32 - kWayTagShift))
+        return false;  // unpackable tags are never resident
+    const std::uint32_t *meta =
+        _meta.data() + static_cast<std::size_t>(set) * _cfg.assoc;
+    const std::uint32_t want =
+        (static_cast<std::uint32_t>(tag64) << kWayTagShift) | kWayDirty |
+        kWayValid;
     for (std::uint32_t w = 0; w < _cfg.assoc; ++w) {
-        if (base[w].valid && base[w].tag == tag)
+        if ((meta[w] | kWayDirty) == want)
             return true;
     }
     return false;
@@ -66,9 +77,9 @@ Cache::probe(std::uint64_t addr) const
 void
 Cache::reset()
 {
-    std::fill(_ways.begin(), _ways.end(), Way{});
+    std::fill(_meta.begin(), _meta.end(), 0u);
+    std::fill(_order.begin(), _order.end(), identityOrder(_cfg.assoc));
     std::fill(_mru.begin(), _mru.end(), 0u);
-    _stamp = 0;
     _hits.reset();
     _misses.reset();
     _writebacks.reset();
@@ -95,19 +106,29 @@ CacheHierarchy::CacheHierarchy(std::uint32_t cores,
 Tick
 CacheHierarchy::l2HitTicks(Frequency core_freq) const
 {
-    return core_freq.cyclesToTicks(_cfg.l2.latencyCycles);
+    if (core_freq != _l2TickFreq) {
+        _l2TickFreq = core_freq;
+        _l2TickCache = core_freq.cyclesToTicks(_cfg.l2.latencyCycles);
+    }
+    return _l2TickCache;
 }
 
 Tick
 CacheHierarchy::l3HitTicks() const
 {
-    return _uncore.frequency().cyclesToTicks(_cfg.l3.latencyCycles);
+    const Frequency f = _uncore.frequency();
+    if (f != _l3TickFreq) {
+        _l3TickFreq = f;
+        _l3TickCache = f.cyclesToTicks(_cfg.l3.latencyCycles);
+    }
+    return _l3TickCache;
 }
 
 CacheHierarchy::LoadOutcome
 CacheHierarchy::load(std::uint32_t core, std::uint64_t addr, Tick issue,
                      Frequency core_freq)
 {
+    DVFS_PROFILE_SCOPE(Cache);
     DVFS_ASSERT(core < _l1d.size(), "core index out of range");
 
     LoadOutcome out{};
@@ -168,6 +189,7 @@ CacheHierarchy::load(std::uint32_t core, std::uint64_t addr, Tick issue,
 Tick
 CacheHierarchy::storeLine(std::uint32_t core, std::uint64_t addr, Tick issue)
 {
+    DVFS_PROFILE_SCOPE(Cache);
     DVFS_ASSERT(core < _l1d.size(), "core index out of range");
 
     // Install dirty in the private levels so subsequent reads of

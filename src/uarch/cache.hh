@@ -25,6 +25,7 @@
 #ifndef DVFS_UARCH_CACHE_HH
 #define DVFS_UARCH_CACHE_HH
 
+#include <bit>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -99,12 +100,58 @@ class Cache
     std::uint64_t writebacks() const { return _writebacks.value(); }
 
   private:
-    struct Way {
-        std::uint64_t tag = 0;
-        std::uint64_t lru = 0;  ///< last-touch stamp; larger = newer
-        bool valid = false;
-        bool dirty = false;
-    };
+    /// @name Packed way metadata
+    /// A way's {tag, valid, dirty} live in one 32-bit word: tag << 2
+    /// | dirty << 1 | valid. A hit test is then a single compare per
+    /// way against the wanted word with the dirty bit forced on, and
+    /// the tag array for a whole set is dense — an L3 set's 16 tags
+    /// span one host cache line instead of six with the old
+    /// {tag, lru, valid, dirty} struct. Simulated addresses are
+    /// region-based (src/wl/params.hh, heaps at 0x1-0x2'0000'0000 and
+    /// regions up to 0x5'0000'0000 + 256 MB, so < 2^35) and the
+    /// smallest index width leaves tags under 23 bits; access()
+    /// guards the 30-bit packing limit.
+    /// @{
+    static constexpr std::uint32_t kWayValid = 1;
+    static constexpr std::uint32_t kWayDirty = 2;
+    static constexpr unsigned kWayTagShift = 2;
+    /// @}
+
+    /**
+     * Move way @p w to the most-recent position of a set's recency
+     * word. The word is a base-16 permutation: nibble 0 holds the
+     * most recently touched way index, nibble assoc-1 the least
+     * recent. The double shifts keep the p == 15 case (shift by 60+4)
+     * well-defined without a branch.
+     */
+    static void
+    touchWay(std::uint64_t &ord, std::uint32_t w)
+    {
+        unsigned p = 0;
+        while (((ord >> (4 * p)) & 0xF) != w)
+            ++p;
+        if (p) {
+            const unsigned sh = 4 * p;
+            const std::uint64_t low = ord & ((std::uint64_t{1} << sh) - 1);
+            const std::uint64_t high = (ord >> sh >> 4) << sh << 4;
+            ord = high | (low << 4) | w;
+        }
+    }
+
+    /** Identity recency word: nibble i = i for i < assoc. */
+    static std::uint64_t
+    identityOrder(std::uint32_t assoc)
+    {
+        std::uint64_t ord = 0;
+        for (std::uint32_t i = 0; i < assoc; ++i)
+            ord |= static_cast<std::uint64_t>(i) << (4 * i);
+        return ord;
+    }
+
+    /** access() body, specialized on a compile-time associativity
+     *  (0 = runtime _cfg.assoc). */
+    template <std::uint32_t A>
+    Result accessWays(std::uint64_t addr, bool dirty);
 
     std::uint32_t setIndex(std::uint64_t addr) const
     {
@@ -127,7 +174,17 @@ class Cache
     std::uint32_t _numSets;
     std::uint32_t _lineShift;  ///< log2(lineBytes)
     std::uint32_t _setBits;    ///< log2(_numSets)
-    std::vector<Way> _ways;  ///< _numSets * assoc, set-major
+    std::vector<std::uint32_t> _meta;  ///< _numSets * assoc, set-major
+    /**
+     * Per-set true-LRU recency as a nibble permutation (touchWay).
+     * Replaces per-way last-touch stamps: victim selection reads one
+     * nibble instead of scanning an assoc-sized stamp array, hits
+     * update one word, and the MRU fast path (which by definition
+     * touches the way already at nibble 0) updates nothing at all.
+     * Selection is bit-identical to stamp LRU: both implement exact
+     * least-recently-touched with the first invalid way preferred.
+     */
+    std::vector<std::uint64_t> _order;
     /**
      * Most-recently-touched way per set. Lookups probe it before
      * scanning the set: locality makes repeat hits to the same line
@@ -136,69 +193,112 @@ class Cache
      * LRU state and stats are identical with or without it.
      */
     std::vector<std::uint32_t> _mru;
-    std::uint64_t _stamp;
 
     sim::Counter _hits, _misses, _writebacks;
 };
 
+template <std::uint32_t A>
 inline Cache::Result
-Cache::access(std::uint64_t addr, bool dirty)
+Cache::accessWays(std::uint64_t addr, bool dirty)
 {
+    // A is the compile-time associativity (0 = use the runtime
+    // config): the scans below get constant trip counts for the
+    // standard 4/8/16-way geometries, which lets the compiler unroll
+    // and vectorize them.
+    const std::uint32_t assoc = A ? A : _cfg.assoc;
     const std::uint32_t set = setIndex(addr);
-    const std::uint64_t tag = tagOf(addr);
-    Way *base = &_ways[static_cast<std::size_t>(set) * _cfg.assoc];
+    const std::uint64_t tag64 = tagOf(addr);
+    DVFS_ASSERT(tag64 >> (32 - kWayTagShift) == 0,
+                "address tag overflows the packed way word");
+    const std::uint32_t tag = static_cast<std::uint32_t>(tag64);
+    std::uint32_t *meta =
+        _meta.data() + static_cast<std::size_t>(set) * assoc;
+    // A hit is (valid && tag match) regardless of dirtiness; forcing
+    // the dirty bit on in both operands makes that one compare.
+    const std::uint32_t want = (tag << kWayTagShift) | kWayDirty | kWayValid;
+    const std::uint32_t mark = dirty ? kWayDirty : 0;
 
-    ++_stamp;
-
-    // Fast path: the set's most-recently-touched way.
+    // Fast path: the set's most-recently-touched way. It already
+    // holds recency nibble 0, so the order word needs no update.
     {
-        Way &mway = base[_mru[set]];
-        if (mway.valid && mway.tag == tag) {
-            mway.lru = _stamp;
-            mway.dirty = mway.dirty || dirty;
+        const std::uint32_t m = _mru[set];
+        if ((meta[m] | kWayDirty) == want) {
+            meta[m] |= mark;
             _hits.inc();
             return Result{true, std::nullopt};
         }
     }
 
     // Hit scan first, victim selection only on a miss: hits (the
-    // common case) pay one tag compare per way and nothing else, and
+    // common case) pay one word compare per way and nothing else, and
     // the miss-path second pass re-reads set-local data already in
-    // the host L1. Selection is identical to the classic fused loop:
-    // the first invalid way wins, else the lowest-lru way (first
-    // among equals).
-    for (std::uint32_t w = 0; w < _cfg.assoc; ++w) {
-        Way &way = base[w];
-        if (way.valid && way.tag == tag) {
-            way.lru = _stamp;
-            way.dirty = way.dirty || dirty;
-            _mru[set] = w;
-            _hits.inc();
-            return Result{true, std::nullopt};
+    // the host L1. The scan is branchless — at most one way can hold
+    // a tag, so reducing the compares into a bitmask and taking the
+    // lowest set bit finds the same way an early-exit loop would.
+    std::uint32_t hit_mask = 0;
+    for (std::uint32_t w = 0; w < assoc; ++w)
+        hit_mask |=
+            static_cast<std::uint32_t>((meta[w] | kWayDirty) == want) << w;
+    if (hit_mask) {
+        const std::uint32_t w =
+            static_cast<std::uint32_t>(std::countr_zero(hit_mask));
+        meta[w] |= mark;
+        touchWay(_order[set], w);
+        _mru[set] = w;
+        _hits.inc();
+        return Result{true, std::nullopt};
+    }
+
+    // Selection is identical to the classic stamp-per-way loop: the
+    // first invalid way wins, else the least recently touched way.
+    std::uint32_t invalid_mask = 0;
+    for (std::uint32_t w = 0; w < assoc; ++w)
+        invalid_mask |=
+            static_cast<std::uint32_t>((meta[w] & kWayValid) == 0) << w;
+    std::uint32_t victim =
+        invalid_mask
+            ? static_cast<std::uint32_t>(std::countr_zero(invalid_mask))
+            : assoc;
+    if (victim == assoc) {
+        // No invalid way: evict the tail nibble of the recency word.
+        // Moving it to the front is then a plain rotate — no
+        // position-finding loop on the (hot) full-set miss path.
+        const std::uint64_t ord = _order[set];
+        victim = static_cast<std::uint32_t>(
+            (ord >> (4 * (assoc - 1))) & 0xF);
+        _order[set] =
+            ((ord & ((std::uint64_t{1} << (4 * (assoc - 1))) - 1)) << 4) |
+            victim;
+        _mru[set] = victim;
+        _misses.inc();
+        Result res{false, std::nullopt};
+        const std::uint32_t vm = meta[victim];
+        if ((vm & (kWayValid | kWayDirty)) == (kWayValid | kWayDirty)) {
+            res.writeback = lineAddr(
+                static_cast<std::uint64_t>(vm >> kWayTagShift), set);
+            _writebacks.inc();
         }
+        meta[victim] = (tag << kWayTagShift) | kWayValid | mark;
+        return res;
     }
 
-    Way *victim = base;
-    for (std::uint32_t w = 1; w < _cfg.assoc; ++w) {
-        if (!victim->valid)
-            break;
-        Way &way = base[w];
-        if (!way.valid || way.lru < victim->lru)
-            victim = &way;
-    }
-
+    // Cold fill into the first invalid way: never a writeback.
     _misses.inc();
-    Result res{false, std::nullopt};
-    if (victim->valid && victim->dirty) {
-        res.writeback = lineAddr(victim->tag, set);
-        _writebacks.inc();
+    meta[victim] = (tag << kWayTagShift) | kWayValid | mark;
+    touchWay(_order[set], victim);
+    _mru[set] = victim;
+    return Result{false, std::nullopt};
+}
+
+inline Cache::Result
+Cache::access(std::uint64_t addr, bool dirty)
+{
+    switch (_cfg.assoc) {
+      case 4: return accessWays<4>(addr, dirty);
+      case 8: return accessWays<8>(addr, dirty);
+      case 16: return accessWays<16>(addr, dirty);
+      default: return accessWays<0>(addr, dirty);
     }
-    victim->valid = true;
-    victim->tag = tag;
-    victim->lru = _stamp;
-    victim->dirty = dirty;
-    _mru[set] = static_cast<std::uint32_t>(victim - base);
-    return res;
 }
 
 /** Configuration of the full hierarchy. */
@@ -294,6 +394,17 @@ class CacheHierarchy
     std::vector<Tick> _writePortFreeAt;
     /** nsToTicks(_cfg.writeDrainNs), hoisted off the store path. */
     Tick _writeDrainTicks = 0;
+    /**
+     * Memoized hit latencies: cyclesToTicks is a double divide +
+     * llround, paid per walked load before these caches. Frequencies
+     * change only at DVFS decisions (and the uncore never does), so
+     * one compare almost always short-circuits the math. Same values,
+     * just cached — bit-exact.
+     */
+    mutable Frequency _l2TickFreq{};
+    mutable Tick _l2TickCache = 0;
+    mutable Frequency _l3TickFreq{};
+    mutable Tick _l3TickCache = 0;
 };
 
 } // namespace dvfs::uarch

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sim/log.hh"
+#include "sim/profile.hh"
 
 namespace dvfs::uarch {
 
@@ -33,6 +34,7 @@ Tick
 CoreModel::executeCompute(const ComputeSpec &spec, Tick start,
                           PerfCounters &pc)
 {
+    DVFS_PROFILE_SCOPE(Core);
     Tick t_compute = instrTicks(static_cast<double>(spec.instructions),
                                 spec.ipcScale);
     // Medium-locality loads: L2 hits scale with the core clock, L3
@@ -57,6 +59,7 @@ Tick
 CoreModel::executeCluster(const MissClusterSpec &spec, Tick start,
                           PerfCounters &pc)
 {
+    DVFS_PROFILE_SCOPE(Core);
     const Frequency freq = _domain.frequency();
 
     // Record per-DRAM-miss (issue, completion) pairs for the Leading
@@ -133,6 +136,7 @@ Tick
 CoreModel::executeStoreBurst(const StoreBurstSpec &spec, Tick start,
                              PerfCounters &pc)
 {
+    DVFS_PROFILE_SCOPE(Core);
     if (spec.lines == 0)
         return start;
 

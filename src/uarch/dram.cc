@@ -4,6 +4,7 @@
 
 #include "fault/fault_plan.hh"
 #include "sim/log.hh"
+#include "sim/profile.hh"
 
 namespace dvfs::uarch {
 
@@ -92,6 +93,7 @@ Dram::decode(std::uint64_t addr, std::uint32_t &channel,
 Tick
 Dram::access(std::uint64_t addr, Tick issue, bool is_write)
 {
+    DVFS_PROFILE_SCOPE(Dram);
     std::uint32_t ci, bi;
     std::uint64_t row;
     decode(addr, ci, bi, row);

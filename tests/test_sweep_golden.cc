@@ -56,6 +56,16 @@ sameBits(double a, double b)
     return ua == ub;
 }
 
+/** Combined digest over a grid: mix cell fingerprints in index order. */
+std::uint64_t
+gridDigest(const exp::sweep::SweepResult &res)
+{
+    exp::sweep::Fnv1a h;
+    for (const auto &cell : res.cells)
+        h.mix(exp::sweep::fingerprintRun(cell));
+    return h.digest();
+}
+
 } // namespace
 
 TEST(SweepGolden, SerialReferenceMatchesDirectRuns)
@@ -133,6 +143,60 @@ TEST(SweepGolden, FingerprintIsInputSensitive)
               exp::sweep::fingerprintRun(res.at(0, std::size_t{1}, 0)));
     EXPECT_NE(exp::sweep::fingerprintRun(res.at(0, std::size_t{0}, 0)),
               exp::sweep::fingerprintRun(res.at(1, std::size_t{0}, 0)));
+}
+
+TEST(SweepGolden, CommittedDigestsReproduceAcrossWorkerCounts)
+{
+    // The exact grid digests committed in BENCH_sweep.json. Any bit
+    // of divergence in the simulator — event ordering, cache
+    // replacement, energy accounting — lands here first. If a change
+    // is *intended* to alter simulated behaviour, re-derive both
+    // constants (sweep_bench and micro_simulator print them) and
+    // update the committed trajectory in the same commit.
+    struct GoldenGrid {
+        const char *name;
+        SweepSpec spec;
+        std::uint64_t digest;
+    };
+    std::vector<GoldenGrid> grids;
+
+    {
+        // sweep_bench's default grid: first 4 DaCapo-style benchmarks
+        // x 4 operating points x 1 seed.
+        GoldenGrid g;
+        g.name = "sweep_bench default";
+        for (const auto &params : wl::dacapoSuite()) {
+            if (g.spec.workloads.size() >= 4)
+                break;
+            g.spec.workloads.push_back(params);
+        }
+        g.spec.frequencies = {Frequency::ghz(1.0), Frequency::ghz(2.0),
+                              Frequency::ghz(3.0), Frequency::ghz(4.0)};
+        g.spec.seeds = SweepSpec::replicateSeeds(42, 1);
+        g.digest = 0xb806f47ff81388e0ull;
+        grids.push_back(std::move(g));
+    }
+    {
+        // micro_simulator's synthetic trajectory grid.
+        GoldenGrid g;
+        g.name = "micro synthetic";
+        g.spec.workloads = {wl::syntheticSmall(2, 40)};
+        g.spec.frequencies = {Frequency::ghz(1.0), Frequency::ghz(2.0),
+                              Frequency::ghz(3.0), Frequency::ghz(4.0)};
+        g.spec.seeds = SweepSpec::replicateSeeds(42, 4);
+        g.digest = 0x1f557120fc16bf8full;
+        grids.push_back(std::move(g));
+    }
+
+    for (const auto &g : grids) {
+        for (unsigned workers : {1u, 2u, 8u}) {
+            SweepRunner::Options ro;
+            ro.workers = workers;
+            auto res = SweepRunner(g.spec, ro).run();
+            EXPECT_EQ(gridDigest(res), g.digest)
+                << g.name << " workers=" << workers;
+        }
+    }
 }
 
 TEST(SweepGolden, ManagedSweepSchedulingInvariant)
