@@ -9,11 +9,19 @@
  * estimator, with and without BURST, plus the simulator's oracle
  * non-scaling counter as the ceiling.
  *
- * Ground truth (benchmark x {1 GHz, 4 GHz}) runs once on the sweep
- * engine and serves both directions.
+ * Ground truth (benchmark x {1 GHz, 4 GHz}) is an ObservedGrid that
+ * serves both directions: live simulation on the sweep engine by
+ * default, or recorded .dvfstrace replay via --trace-dir (recording
+ * the traces first when the directory is incomplete).
+ *
+ * The DEP variants are constructed through the PredictorRegistry
+ * ("DEP" family over each ModelSpec); table headers keep the ModelSpec
+ * spellings (STALL, STALL+BURST, ...) since the columns ablate specs,
+ * not registry families.
  *
  * Usage: ablation_estimators [--dir=up|down|both] [--only=<name>]
- *                            [--workers=N] [--progress]
+ *                            [--trace-dir=DIR] [--workers=N]
+ *                            [--progress]
  */
 
 #include <iostream>
@@ -21,9 +29,9 @@
 #include <vector>
 
 #include "bench_util.hh"
-#include "exp/sweep/sweep.hh"
+#include "exp/sweep/trace_cache.hh"
 #include "exp/table.hh"
-#include "pred/predictors.hh"
+#include "pred/registry.hh"
 
 using namespace dvfs;
 using namespace dvfs::pred;
@@ -32,7 +40,7 @@ namespace {
 
 void
 runDirection(const char *label, Frequency base, Frequency target,
-             const exp::sweep::SweepResult &res)
+             const exp::sweep::ObservedGrid &grid)
 {
     const std::vector<ModelSpec> specs = {
         {BaseEstimator::StallTime, false},
@@ -44,6 +52,7 @@ runDirection(const char *label, Frequency base, Frequency target,
         {BaseEstimator::Oracle, false},
         {BaseEstimator::Oracle, true},
     };
+    const auto &registry = PredictorRegistry::instance();
 
     std::vector<std::string> headers = {"benchmark"};
     for (const auto &s : specs)
@@ -51,16 +60,16 @@ runDirection(const char *label, Frequency base, Frequency target,
     exp::Table table(headers);
 
     std::map<std::string, std::vector<double>> errs;
-    for (std::size_t w = 0; w < res.spec.workloads.size(); ++w) {
-        const auto &params = res.spec.workloads[w];
-        const auto &base_run = res.at(w, base);
-        Tick actual = res.at(w, target).totalTime;
+    for (std::size_t w = 0; w < grid.spec.workloads.size(); ++w) {
+        const auto &params = grid.spec.workloads[w];
+        const auto &base_cell = grid.at(w, base);
+        Tick actual = grid.at(w, target).totalTime;
 
         std::vector<std::string> row = {params.name};
         for (const auto &s : specs) {
-            DepPredictor p(s, true);
+            auto p = registry.make("DEP", s);
             double e = Predictor::relativeError(
-                p.predict(base_run.record, target), actual);
+                p->predict(base_cell.view(), target), actual);
             errs[s.name()].push_back(e);
             row.push_back(exp::Table::pct(e));
         }
@@ -86,6 +95,7 @@ main(int argc, char **argv)
     bench::Args args(argc, argv);
     const std::string dir = args.get("dir", "both");
     const std::string only = args.get("only");
+    const std::string trace_dir = args.get("trace-dir");
 
     exp::sweep::SweepSpec spec;
     for (const auto &params : wl::dacapoSuite()) {
@@ -102,14 +112,19 @@ main(int argc, char **argv)
     opts.workers = bench::sweepWorkers(args);
     opts.progress = args.has("progress");
     opts.label = "ablation";
-    auto res = exp::sweep::SweepRunner(std::move(spec), opts).run();
+    auto grid = exp::sweep::observeGrid(spec, opts, trace_dir);
+    if (!trace_dir.empty()) {
+        std::cout << (grid.replayed ? "replaying traces from "
+                                    : "recorded traces to ")
+                  << trace_dir << "\n";
+    }
 
     if (dir == "up" || dir == "both")
         runDirection("low-to-high", Frequency::ghz(1.0),
-                     Frequency::ghz(4.0), res);
+                     Frequency::ghz(4.0), grid);
     if (dir == "down" || dir == "both")
         runDirection("high-to-low", Frequency::ghz(4.0),
-                     Frequency::ghz(1.0), res);
+                     Frequency::ghz(1.0), grid);
 
     std::cout << "\nExpected ladder (paper Section II-A): STALL "
                  "underestimates the non-scaling\ncomponent (work "

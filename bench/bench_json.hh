@@ -25,12 +25,15 @@ class SweepJsonRecord
 {
   public:
     /**
-     * @param bench Emitting binary, e.g. "sweep_bench".
-     * @param run   Configuration label, e.g. "workers=4".
+     * @param bench  Emitting binary, e.g. "sweep_bench".
+     * @param run    Configuration label, e.g. "workers=4".
+     * @param schema Record schema; the trace record/replay tools emit
+     *               "dvfs-trace-bench-v1" rows into the same file.
      */
-    SweepJsonRecord(const std::string &bench, const std::string &run)
+    SweepJsonRecord(const std::string &bench, const std::string &run,
+                    const std::string &schema = "dvfs-sweep-bench-v1")
     {
-        _os << "{\"schema\":\"dvfs-sweep-bench-v1\""
+        _os << "{\"schema\":\"" << schema << "\""
             << ",\"bench\":\"" << bench << "\""
             << ",\"run\":\"" << run << "\"";
         unsigned hw = std::thread::hardware_concurrency();
@@ -54,6 +57,21 @@ class SweepJsonRecord
     {
         _os << ",\"" << key << "\":" << v;
         return *this;
+    }
+
+    /** Add a string value (no escaping: keys/values are identifiers). */
+    SweepJsonRecord &
+    add(const std::string &key, const std::string &v)
+    {
+        _os << ",\"" << key << "\":\"" << v << "\"";
+        return *this;
+    }
+
+    /** Keep string literals from decaying to the bool overload set. */
+    SweepJsonRecord &
+    add(const std::string &key, const char *v)
+    {
+        return add(key, std::string(v));
     }
 
     /** Add a pre-serialized JSON value (object/array) verbatim. */

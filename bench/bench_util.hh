@@ -13,6 +13,8 @@
 #include <vector>
 
 #include "exp/sweep/pool.hh"
+#include "exp/sweep/sweep.hh"
+#include "wl/suite.hh"
 
 namespace dvfs::bench {
 
@@ -134,6 +136,28 @@ inline unsigned
 sweepWorkers(const Args &args)
 {
     return chooseWorkers(args).effective;
+}
+
+/**
+ * The Figure 3 ground-truth grid: the DaCapo suite (optionally the
+ * first @p n_bench entries, or the one named by @p only) crossed with
+ * the four operating points both directions read. Shared by
+ * fig3_accuracy, trace_record and trace_replay so record and replay
+ * agree on cell coordinates. Seeds stay at the spec default ({42}).
+ */
+inline exp::sweep::SweepSpec
+fig3GridSpec(std::size_t n_bench = 0, const std::string &only = "")
+{
+    exp::sweep::SweepSpec spec;
+    for (const auto &params : wl::dacapoSuite()) {
+        if (n_bench != 0 && spec.workloads.size() >= n_bench)
+            break;
+        if (only.empty() || params.name == only)
+            spec.workloads.push_back(params);
+    }
+    spec.frequencies = {Frequency::ghz(1.0), Frequency::ghz(2.0),
+                        Frequency::ghz(3.0), Frequency::ghz(4.0)};
+    return spec;
 }
 
 } // namespace dvfs::bench

@@ -7,21 +7,27 @@
  * (b) --dir=down : base 4 GHz, targets 3/2/1 GHz
  * --dir=both (default) prints both.
  *
- * For every benchmark the harness runs the ground truth at the base
- * and at each target frequency, feeds the base-run record to each
- * predictor, and reports the signed relative error estimated/actual-1
- * (negative = execution time underestimated), plus the average
- * absolute error across benchmarks — the paper's headline metric
- * (6% for DEP+BURST at 4 GHz from 1 GHz; 27% for M+CRIT).
+ * For every benchmark the harness obtains the ground truth at the base
+ * and at each target frequency, feeds the base-run observations to
+ * each predictor, and reports the signed relative error
+ * estimated/actual-1 (negative = execution time underestimated), plus
+ * the average absolute error across benchmarks — the paper's headline
+ * metric (6% for DEP+BURST at 4 GHz from 1 GHz; 27% for M+CRIT).
  *
- * The (benchmark x frequency) ground-truth grid runs on the sweep
- * engine — both directions share the same four operating points, so
- * each cell is simulated exactly once and cells run concurrently.
- * Results are aggregated by cell index, so the tables are identical
- * at any worker count.
+ * The (benchmark x frequency) ground-truth grid is an ObservedGrid:
+ * with --trace-dir it replays recorded .dvfstrace files when a
+ * complete set is present (recording one first otherwise), without it
+ * the grid simulates on the sweep engine — both directions share the
+ * same four operating points, so each cell is simulated exactly once
+ * and cells run concurrently. Results are aggregated by cell index, so
+ * the tables are identical at any worker count, and the replayed and
+ * simulated paths produce bit-identical errors.
+ *
+ * Predictors come from the PredictorRegistry; the table's predictor
+ * column uses the registry's canonical names.
  *
  * Usage: fig3_accuracy [--dir=up|down|both] [--only=<benchmark>]
- *                      [--workers=N] [--progress]
+ *                      [--trace-dir=DIR] [--workers=N] [--progress]
  */
 
 #include <iostream>
@@ -29,9 +35,9 @@
 #include <vector>
 
 #include "bench_util.hh"
-#include "exp/sweep/sweep.hh"
+#include "exp/sweep/trace_cache.hh"
 #include "exp/table.hh"
-#include "pred/predictors.hh"
+#include "pred/registry.hh"
 
 using namespace dvfs;
 
@@ -44,12 +50,12 @@ struct Direction {
 };
 
 void
-runDirection(const Direction &dir, const exp::sweep::SweepResult &res)
+runDirection(const Direction &dir, const exp::sweep::ObservedGrid &grid)
 {
     std::cout << "\nFigure 3 (" << dir.label
               << "): base " << dir.base.toString() << "\n\n";
 
-    auto predictors = pred::makeFigure3Predictors();
+    auto predictors = pred::PredictorRegistry::instance().figure3Set();
 
     // errors[predictor][target] -> per-benchmark list
     std::map<std::string, std::map<std::uint32_t, std::vector<double>>>
@@ -60,13 +66,13 @@ runDirection(const Direction &dir, const exp::sweep::SweepResult &res)
         headers.push_back("err @" + t.toString());
     exp::Table table(headers);
 
-    for (std::size_t w = 0; w < res.spec.workloads.size(); ++w) {
-        const auto &params = res.spec.workloads[w];
+    for (std::size_t w = 0; w < grid.spec.workloads.size(); ++w) {
+        const auto &params = grid.spec.workloads[w];
 
-        const auto &base_run = res.at(w, dir.base);
+        const auto &base_cell = grid.at(w, dir.base);
         std::map<std::uint32_t, Tick> actual;
         for (auto t : dir.targets)
-            actual[t.toMHz()] = res.at(w, t).totalTime;
+            actual[t.toMHz()] = grid.at(w, t).totalTime;
 
         bool first = true;
         for (const auto &p : predictors) {
@@ -74,7 +80,7 @@ runDirection(const Direction &dir, const exp::sweep::SweepResult &res)
                                             p->name()};
             first = false;
             for (auto t : dir.targets) {
-                Tick est = p->predict(base_run.record, t);
+                Tick est = p->predict(base_cell.view(), t);
                 double err =
                     pred::Predictor::relativeError(est, actual[t.toMHz()]);
                 errors[p->name()][t.toMHz()].push_back(err);
@@ -105,6 +111,7 @@ main(int argc, char **argv)
     bench::Args args(argc, argv);
     const std::string dir = args.get("dir", "both");
     const std::string only = args.get("only");
+    const std::string trace_dir = args.get("trace-dir");
 
     Direction up{"a: low-to-high", Frequency::ghz(1.0),
                  {Frequency::ghz(2.0), Frequency::ghz(3.0),
@@ -114,28 +121,27 @@ main(int argc, char **argv)
                     Frequency::ghz(1.0)}};
 
     // Both directions read the same four operating points, so one
-    // sweep covers them (the serial harness simulated each twice).
-    exp::sweep::SweepSpec spec;
-    for (const auto &params : wl::dacapoSuite()) {
-        if (only.empty() || params.name == only)
-            spec.workloads.push_back(params);
-    }
+    // grid covers them (the serial harness simulated each twice).
+    exp::sweep::SweepSpec spec = bench::fig3GridSpec(0, only);
     if (spec.workloads.empty()) {
         std::cerr << "no benchmark matches --only=" << only << "\n";
         return 1;
     }
-    spec.frequencies = {Frequency::ghz(1.0), Frequency::ghz(2.0),
-                        Frequency::ghz(3.0), Frequency::ghz(4.0)};
 
     exp::sweep::SweepRunner::Options opts;
     opts.workers = bench::sweepWorkers(args);
     opts.progress = args.has("progress");
     opts.label = "fig3";
-    auto res = exp::sweep::SweepRunner(std::move(spec), opts).run();
+    auto grid = exp::sweep::observeGrid(spec, opts, trace_dir);
+    if (!trace_dir.empty()) {
+        std::cout << (grid.replayed ? "replaying traces from "
+                                    : "recorded traces to ")
+                  << trace_dir << "\n";
+    }
 
     if (dir == "up" || dir == "both")
-        runDirection(up, res);
+        runDirection(up, grid);
     if (dir == "down" || dir == "both")
-        runDirection(down, res);
+        runDirection(down, grid);
     return 0;
 }

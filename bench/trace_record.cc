@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Record the fig3-style ground-truth grid to .dvfstrace files.
+ *
+ * Simulates every (benchmark x operating point) cell of the Figure 3
+ * grid once on the sweep engine and persists each cell's observation
+ * record (epochs, per-thread counter deltas, thread summaries, GC
+ * marks) to --out. A directory produced here feeds trace_replay,
+ * fig3_accuracy --trace-dir and ablation_estimators --trace-dir: the
+ * expensive simulation happens once, every later predictor evaluation
+ * replays from disk.
+ *
+ * Appends one dvfs-trace-bench-v1 record (phase=record) per run to
+ * the JSONL trajectory (see EXPERIMENTS.md).
+ *
+ * Usage: trace_record --out=DIR [--benchmarks=N] [--only=<name>]
+ *                     [--seed=42] [--workers=N] [--progress]
+ *                     [--json=BENCH_sweep.json]
+ */
+
+#include <chrono>
+#include <iostream>
+
+#include "bench_json.hh"
+#include "bench_util.hh"
+#include "exp/sweep/fingerprint.hh"
+#include "exp/sweep/trace_cache.hh"
+#include "exp/table.hh"
+
+using namespace dvfs;
+
+int
+main(int argc, char **argv)
+{
+    bench::Args args(argc, argv);
+    const std::string out = args.get("out");
+    if (out.empty()) {
+        std::cerr << "trace_record: --out=DIR is required\n";
+        return 1;
+    }
+
+    exp::sweep::SweepSpec spec = bench::fig3GridSpec(
+        static_cast<std::size_t>(args.getInt("benchmarks", 0)),
+        args.get("only"));
+    if (spec.workloads.empty()) {
+        std::cerr << "no benchmark matches --only=" << args.get("only")
+                  << "\n";
+        return 1;
+    }
+    spec.seeds = {static_cast<std::uint64_t>(args.getInt("seed", 42))};
+
+    exp::sweep::SweepRunner::Options opts;
+    opts.workers = bench::sweepWorkers(args);
+    opts.progress = args.has("progress");
+    opts.label = "trace_record";
+
+    const std::size_t cells = spec.cellCount();
+    std::cout << "trace_record: " << spec.workloads.size()
+              << " benchmarks x " << spec.frequencies.size()
+              << " frequencies = " << cells << " cells -> " << out
+              << "\n";
+
+    const auto t0 = std::chrono::steady_clock::now();
+    auto grid = exp::sweep::recordGrid(spec, opts, out);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+
+    // Grid digest over the live cells: lets replay tools prove the
+    // recorded traces came from this exact simulation.
+    exp::sweep::Fnv1a h;
+    for (const auto &cell : grid.live->cells)
+        h.mix(exp::sweep::fingerprintRun(cell));
+
+    const double cells_s =
+        static_cast<double>(cells) / (wall_ms / 1000.0);
+    std::cout << "recorded " << cells << " cells in "
+              << exp::Table::fmt(wall_ms, 1) << " ms ("
+              << exp::Table::fmt(cells_s, 2) << " cells/s), digest 0x"
+              << std::hex << h.digest() << std::dec << "\n";
+
+    bench::SweepJsonRecord rec(
+        "trace_record",
+        "benchmarks=" + std::to_string(spec.workloads.size()),
+        "dvfs-trace-bench-v1");
+    rec.add("phase", "record")
+        .add("workers", static_cast<std::uint64_t>(opts.workers))
+        .add("cells", static_cast<std::uint64_t>(cells))
+        .add("wall_ms", wall_ms)
+        .add("cells_per_sec", cells_s)
+        .addHex("grid_digest", h.digest());
+    rec.appendTo(args.get("json", "BENCH_sweep.json"));
+    return 0;
+}

@@ -14,10 +14,7 @@
 #include <cstdlib>
 #include <iostream>
 
-#include "exp/experiment.hh"
-#include "exp/table.hh"
-#include "pred/criticality.hh"
-#include "wl/builder.hh"
+#include "dvfs.hh"
 
 using namespace dvfs;
 

@@ -17,8 +17,7 @@
 #include <iostream>
 #include <map>
 
-#include "exp/experiment.hh"
-#include "exp/table.hh"
+#include "dvfs.hh"
 
 using namespace dvfs;
 

@@ -14,8 +14,7 @@
 
 #include <iostream>
 
-#include "exp/experiment.hh"
-#include "exp/table.hh"
+#include "dvfs.hh"
 
 using namespace dvfs;
 

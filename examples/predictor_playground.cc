@@ -18,10 +18,7 @@
 #include <string>
 #include <vector>
 
-#include "exp/experiment.hh"
-#include "exp/table.hh"
-#include "pred/predictors.hh"
-#include "sim/log.hh"
+#include "dvfs.hh"
 
 using namespace dvfs;
 

@@ -14,8 +14,7 @@
 #include <cstdlib>
 #include <iostream>
 
-#include "exp/experiment.hh"
-#include "pred/predictors.hh"
+#include "dvfs.hh"
 
 using namespace dvfs;
 

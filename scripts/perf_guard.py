@@ -1,12 +1,13 @@
 #!/usr/bin/env python3
 """Soft performance-regression guard over BENCH_sweep.json trajectories.
 
-Compares freshly measured dvfs-sweep-bench-v1 records — from any
-emitting bench, i.e. both sweep_bench and micro_simulator rows —
-against the last committed record for the same configuration (bench +
-run + cells, preferring rows from a machine with the same
-hardware_threads) and emits a GitHub Actions ::warning:: annotation
-when throughput dropped by more than the threshold. Always exits 0:
+Compares freshly measured dvfs-sweep-bench-v1 and dvfs-trace-bench-v1
+records — from any emitting bench: sweep_bench, micro_simulator, and
+the trace record/replay tools — against the last committed record for
+the same configuration (bench + run + cells, preferring rows from a
+machine with the same hardware_threads) and emits a GitHub Actions
+::warning:: annotation when throughput dropped by more than the
+threshold. Always exits 0:
 wall-clock numbers on shared CI runners are noisy, so the guard
 annotates instead of failing; a real regression shows up as the
 warning persisting across commits.
@@ -26,6 +27,9 @@ import os
 import sys
 
 
+KNOWN_SCHEMAS = ("dvfs-sweep-bench-v1", "dvfs-trace-bench-v1")
+
+
 def load_records(path):
     records = []
     try:
@@ -38,7 +42,7 @@ def load_records(path):
                     rec = json.loads(line)
                 except json.JSONDecodeError:
                     continue
-                if rec.get("schema") == "dvfs-sweep-bench-v1":
+                if rec.get("schema") in KNOWN_SCHEMAS:
                     records.append(rec)
     except OSError as exc:
         print(f"perf_guard: cannot read {path}: {exc}", file=sys.stderr)

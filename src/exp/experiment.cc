@@ -47,17 +47,18 @@ runFixed(const wl::WorkloadParams &params, Frequency freq,
 ManagedRunOutput
 runManaged(const wl::WorkloadParams &params,
            const mgr::ManagerConfig &mgr_cfg, const power::VfTable &table,
-           std::uint64_t seed)
+           const RunOptions &opts)
 {
     os::SystemConfig sys_cfg = wl::defaultSystemConfig(table.highest());
-    sys_cfg.seed = seed;
+    sys_cfg.seed = opts.seed;
     wl::BenchInstance inst = wl::buildBenchmark(params, sys_cfg);
 
-    pred::RunRecorder rec(*inst.sys);
+    pred::RunRecorder rec(*inst.sys, opts.keepEvents);
     inst.sys->addListener(&rec);
 
     power::EnergyMeter meter(*inst.sys, table);
-    meter.attach();
+    if (opts.measureEnergy)
+        meter.attach();
 
     mgr::EnergyManager manager(*inst.sys, rec, table, mgr_cfg);
     manager.attach();
@@ -65,7 +66,8 @@ runManaged(const wl::WorkloadParams &params,
     os::RunResult res = inst.sys->run();
     if (!res.finished)
         fatal("managed run of '%s' did not finish", params.name.c_str());
-    meter.finish();
+    if (opts.measureEnergy)
+        meter.finish();
 
     ManagedRunOutput out;
     out.totalTime = res.totalTime;
@@ -75,6 +77,16 @@ runManaged(const wl::WorkloadParams &params,
     out.averageGHz = inst.sys->coreDomain().averageGHz(0, res.totalTime);
     out.transitions = inst.sys->coreDomain().transitions();
     return out;
+}
+
+ManagedRunOutput
+runManaged(const wl::WorkloadParams &params,
+           const mgr::ManagerConfig &mgr_cfg, const power::VfTable &table,
+           std::uint64_t seed)
+{
+    RunOptions opts;
+    opts.seed = seed;
+    return runManaged(params, mgr_cfg, table, opts);
 }
 
 HardenedRunOutput

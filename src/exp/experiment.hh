@@ -33,18 +33,30 @@ struct FixedRunOutput {
     std::uint64_t events = 0;
 };
 
-/** Options for runFixed. */
-struct FixedRunOptions {
+/**
+ * Options shared by every canonical run harness (fixed, managed).
+ *
+ * One options struct instead of one per harness: the fields are the
+ * same everywhere, and the sweep engine overrides only the seed per
+ * cell.
+ */
+struct RunOptions {
     bool keepEvents = false;     ///< retain the raw sync-event trace
     bool measureEnergy = true;   ///< attach the energy meter
     std::uint64_t seed = 42;     ///< machine seed (workload determinism)
 };
 
 /**
+ * @deprecated Old name of RunOptions, kept as an alias for one PR;
+ * use exp::RunOptions.
+ */
+using FixedRunOptions = RunOptions;
+
+/**
  * Run @p params at a fixed frequency on the default Table II machine.
  */
 FixedRunOutput runFixed(const wl::WorkloadParams &params, Frequency freq,
-                        const FixedRunOptions &opts = FixedRunOptions());
+                        const RunOptions &opts = RunOptions());
 
 /** Everything collected from one energy-manager-governed run. */
 struct ManagedRunOutput {
@@ -59,6 +71,16 @@ struct ManagedRunOutput {
 /**
  * Run @p params under the energy manager (which starts the machine at
  * the table's highest frequency).
+ */
+ManagedRunOutput runManaged(const wl::WorkloadParams &params,
+                            const mgr::ManagerConfig &mgr_cfg,
+                            const power::VfTable &table,
+                            const RunOptions &opts);
+
+/**
+ * @deprecated Seed-only overload kept for one PR; use the RunOptions
+ * overload. Behaves as RunOptions{.seed = seed} with energy metering
+ * on (the historical default).
  */
 ManagedRunOutput runManaged(const wl::WorkloadParams &params,
                             const mgr::ManagerConfig &mgr_cfg,

@@ -99,7 +99,7 @@ SweepRunner::run()
     const SweepSpec &spec = _spec;
     auto runCell = [&spec, &res](std::size_t index) {
         Cell c = spec.cell(index);
-        FixedRunOptions opts = spec.runOptions;
+        RunOptions opts = spec.runOptions;
         opts.seed = spec.seeds[c.seed];
         res.cells[index] = runFixed(spec.workloads[c.workload],
                                     spec.frequencies[c.freq], opts);

@@ -51,7 +51,7 @@ struct SweepSpec {
     std::vector<std::uint64_t> seeds{42};
 
     /** Per-cell run options; the seed field is overridden per cell. */
-    FixedRunOptions runOptions{};
+    RunOptions runOptions{};
 
     /** Total number of cells. fatal()s on an empty dimension. */
     std::size_t cellCount() const;

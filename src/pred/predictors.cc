@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "pred/registry.hh"
 #include "sim/log.hh"
 
 namespace dvfs::pred {
@@ -48,11 +49,11 @@ MCritPredictor::name() const
 }
 
 Tick
-MCritPredictor::predict(const RunRecord &rec, Frequency target) const
+MCritPredictor::predict(const RunView &run, Frequency target) const
 {
-    const double ratio = freqRatio(rec.baseFreq, target);
+    const double ratio = freqRatio(run.baseFreq(), target);
     Tick best = 0;
-    for (const ThreadSummary &t : rec.threads) {
+    for (const ThreadSummary &t : run.threads()) {
         // A thread's "execution time" is its lifetime span: without
         // epoch decomposition, futex wait time is indistinguishable
         // from running time and lands in the scaling component — the
@@ -82,22 +83,24 @@ CoopPredictor::name() const
 }
 
 Tick
-CoopPredictor::predict(const RunRecord &rec, Frequency target) const
+CoopPredictor::predict(const RunView &run, Frequency target) const
 {
-    const double ratio = freqRatio(rec.baseFreq, target);
+    const double ratio = freqRatio(run.baseFreq(), target);
+    const std::vector<Epoch> &epochs = run.epochs();
+    const std::vector<ThreadSummary> &threads = run.threads();
 
     // Phase boundaries: 0, each GC mark, end of run.
     std::vector<Tick> cuts;
     cuts.push_back(0);
-    for (const GcPhaseMark &m : rec.gcMarks)
+    for (const GcPhaseMark &m : run.gcMarks())
         cuts.push_back(m.tick);
-    cuts.push_back(rec.totalTime);
+    cuts.push_back(run.totalTime());
 
     // Per phase, aggregate per-thread counter deltas from the epochs
     // inside the phase, then apply M+CRIT within the phase.
     Tick total = 0;
     std::size_t ei = 0;
-    const std::size_t nthreads = rec.threads.size();
+    const std::size_t nthreads = threads.size();
     std::vector<Tick> busy(nthreads);
     std::vector<uarch::PerfCounters> acc(nthreads);
 
@@ -109,8 +112,8 @@ CoopPredictor::predict(const RunRecord &rec, Frequency target) const
 
         std::fill(busy.begin(), busy.end(), 0);
         std::fill(acc.begin(), acc.end(), uarch::PerfCounters{});
-        while (ei < rec.epochs.size() && rec.epochs[ei].end <= b) {
-            const Epoch &ep = rec.epochs[ei];
+        while (ei < epochs.size() && epochs[ei].end <= b) {
+            const Epoch &ep = epochs[ei];
             if (ep.start >= a) {
                 for (const EpochThread &et : ep.active) {
                     busy[et.tid] += et.delta.busyTime;
@@ -130,8 +133,8 @@ CoopPredictor::predict(const RunRecord &rec, Frequency target) const
         for (std::size_t t = 0; t < nthreads; ++t) {
             if (busy[t] == 0)
                 continue;
-            Tick span = std::min(rec.threads[t].exitTick, b) -
-                        std::max(rec.threads[t].spawnTick, a);
+            Tick span = std::min(threads[t].exitTick, b) -
+                        std::max(threads[t].spawnTick, a);
             span = std::min(span, phase_len);
             if (static_cast<double>(busy[t]) <
                 0.1 * static_cast<double>(span)) {
@@ -219,10 +222,11 @@ DepPredictor::predictEpochRange(const std::vector<Epoch> &epochs,
 }
 
 Tick
-DepPredictor::predict(const RunRecord &rec, Frequency target) const
+DepPredictor::predict(const RunView &run, Frequency target) const
 {
-    const double ratio = freqRatio(rec.baseFreq, target);
-    return predictEpochRange(rec.epochs, 0, rec.epochs.size(), ratio);
+    const double ratio = freqRatio(run.baseFreq(), target);
+    const std::vector<Epoch> &epochs = run.epochs();
+    return predictEpochRange(epochs, 0, epochs.size(), ratio);
 }
 
 // ------------------------------------------------------------------ zoo
@@ -230,16 +234,7 @@ DepPredictor::predict(const RunRecord &rec, Frequency target) const
 std::vector<std::unique_ptr<Predictor>>
 makeFigure3Predictors()
 {
-    std::vector<std::unique_ptr<Predictor>> v;
-    const ModelSpec crit{BaseEstimator::Crit, false};
-    const ModelSpec crit_burst{BaseEstimator::Crit, true};
-    v.push_back(std::make_unique<MCritPredictor>(crit));
-    v.push_back(std::make_unique<MCritPredictor>(crit_burst));
-    v.push_back(std::make_unique<CoopPredictor>(crit));
-    v.push_back(std::make_unique<CoopPredictor>(crit_burst));
-    v.push_back(std::make_unique<DepPredictor>(crit));
-    v.push_back(std::make_unique<DepPredictor>(crit_burst));
-    return v;
+    return PredictorRegistry::instance().figure3Set();
 }
 
 } // namespace dvfs::pred

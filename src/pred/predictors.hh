@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "pred/record.hh"
+#include "pred/run_view.hh"
 #include "pred/scaling.hh"
 #include "sim/time.hh"
 
@@ -38,6 +39,10 @@ namespace dvfs::pred {
 
 /**
  * Interface of a whole-run execution-time predictor.
+ *
+ * Predictors observe a run exclusively through the RunView interface
+ * (run_view.hh), so the same instance predicts from a live RunRecord
+ * or from a loaded .dvfstrace with bit-identical results.
  */
 class Predictor
 {
@@ -48,7 +53,14 @@ class Predictor
     virtual std::string name() const = 0;
 
     /** Estimate total execution time at @p target. */
-    virtual Tick predict(const RunRecord &rec, Frequency target) const = 0;
+    virtual Tick predict(const RunView &run, Frequency target) const = 0;
+
+    /** Convenience overload for the live in-memory backend. */
+    Tick
+    predict(const RunRecord &rec, Frequency target) const
+    {
+        return predict(RecordView(rec), target);
+    }
 
     /** Signed relative error vs. @p actual: estimated/actual - 1. */
     static double
@@ -68,8 +80,9 @@ class MCritPredictor : public Predictor
   public:
     explicit MCritPredictor(ModelSpec spec) : _spec(spec) {}
 
+    using Predictor::predict;
     std::string name() const override;
-    Tick predict(const RunRecord &rec, Frequency target) const override;
+    Tick predict(const RunView &run, Frequency target) const override;
 
   private:
     ModelSpec _spec;
@@ -84,8 +97,9 @@ class CoopPredictor : public Predictor
   public:
     explicit CoopPredictor(ModelSpec spec) : _spec(spec) {}
 
+    using Predictor::predict;
     std::string name() const override;
-    Tick predict(const RunRecord &rec, Frequency target) const override;
+    Tick predict(const RunView &run, Frequency target) const override;
 
   private:
     ModelSpec _spec;
@@ -109,8 +123,9 @@ class DepPredictor : public Predictor
     {
     }
 
+    using Predictor::predict;
     std::string name() const override;
-    Tick predict(const RunRecord &rec, Frequency target) const override;
+    Tick predict(const RunView &run, Frequency target) const override;
 
     /**
      * Predict the duration of a contiguous span of epochs — the
@@ -129,7 +144,12 @@ class DepPredictor : public Predictor
     bool _acrossEpochs;
 };
 
-/** The full predictor zoo of Figure 3 (M+CRIT/COOP/DEP x +/-BURST). */
+/**
+ * The full predictor zoo of Figure 3 (M+CRIT/COOP/DEP x +/-BURST).
+ *
+ * @deprecated Thin wrapper over PredictorRegistry::figure3Set()
+ * (registry.hh), kept for one PR; new code should use the registry.
+ */
 std::vector<std::unique_ptr<Predictor>> makeFigure3Predictors();
 
 } // namespace dvfs::pred
