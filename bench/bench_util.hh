@@ -14,6 +14,7 @@
 
 #include "exp/sweep/pool.hh"
 #include "exp/sweep/sweep.hh"
+#include "sim/sampling.hh"
 #include "wl/suite.hh"
 
 namespace dvfs::bench {
@@ -136,6 +137,42 @@ inline unsigned
 sweepWorkers(const Args &args)
 {
     return chooseWorkers(args).effective;
+}
+
+/**
+ * Simulation mode from --mode=exact|sampled (default exact).
+ * fatal()s on any other value, listing the accepted names.
+ */
+inline exp::SimMode
+modeFromArgs(const Args &args)
+{
+    return exp::parseSimMode(args.get("mode", "exact"));
+}
+
+/**
+ * Sampling window placement from --startup-us / --detail-us /
+ * --gap-us, defaulting to the library's measured sweet spot
+ * (sim::SamplingConfig). Only meaningful with --mode=sampled.
+ */
+inline sim::SamplingConfig
+samplingFromArgs(const Args &args)
+{
+    sim::SamplingConfig cfg;
+    cfg.startupDetail = static_cast<Tick>(args.getInt(
+                            "startup-us",
+                            static_cast<long>(cfg.startupDetail /
+                                              kTicksPerUs))) *
+                        kTicksPerUs;
+    cfg.detailWindow = static_cast<Tick>(args.getInt(
+                           "detail-us",
+                           static_cast<long>(cfg.detailWindow /
+                                             kTicksPerUs))) *
+                       kTicksPerUs;
+    cfg.gapWindow = static_cast<Tick>(args.getInt(
+                        "gap-us",
+                        static_cast<long>(cfg.gapWindow / kTicksPerUs))) *
+                    kTicksPerUs;
+    return cfg;
 }
 
 /**

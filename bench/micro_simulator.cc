@@ -112,6 +112,24 @@ BM_FullRunDacapo(benchmark::State &state)
 }
 BENCHMARK(BM_FullRunDacapo);
 
+/** Same run under interval sampling: the fast-path speedup, isolated. */
+static void
+BM_FullRunDacapoSampled(benchmark::State &state)
+{
+    auto params = wl::benchmarkByName("pmd.scale");
+    exp::RunOptions opts;
+    opts.mode = exp::SimMode::Sampled;
+    std::uint64_t events = 0;
+    for (auto _ : state) {
+        auto out = exp::runFixed(params, Frequency::ghz(2.0), opts);
+        events += out.events;
+        benchmark::DoNotOptimize(out.totalTime);
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(events));
+    state.SetLabel("one sampled pmd.scale run per iteration");
+}
+BENCHMARK(BM_FullRunDacapoSampled);
+
 /** Sweep-engine overhead: a grid of tiny synthetic runs per worker count. */
 static void
 BM_SweepSynthetic(benchmark::State &state)
@@ -145,14 +163,16 @@ namespace {
  * either/or; the trajectory file needs append semantics).
  */
 void
-appendSweepRecord(unsigned requested, unsigned effective, unsigned repeat,
-                  double serial_ms, double wall_ms, std::uint64_t digest,
-                  std::size_t cells, const std::string &json_path)
+appendSweepRecord(exp::SimMode mode, unsigned requested,
+                  unsigned effective, unsigned repeat, double serial_ms,
+                  double wall_ms, std::uint64_t digest, std::size_t cells,
+                  const std::string &json_path)
 {
     dvfs::bench::SweepJsonRecord rec(
         "micro_simulator",
         "synthetic workers=" + std::to_string(effective));
-    rec.add("workers", static_cast<std::uint64_t>(effective))
+    rec.add("mode", exp::simModeName(mode))
+        .add("workers", static_cast<std::uint64_t>(effective))
         .add("requested_workers", static_cast<std::uint64_t>(requested))
         .add("effective_workers", static_cast<std::uint64_t>(effective))
         .add("cells", static_cast<std::uint64_t>(cells))
@@ -213,14 +233,15 @@ trajectoryWorkers(long explicit_workers)
  *         same fingerprint.
  */
 bool
-emitSweepTrajectory(unsigned repeat, long explicit_workers,
-                    const std::string &json_path)
+emitSweepTrajectory(exp::SimMode mode, unsigned repeat,
+                    long explicit_workers, const std::string &json_path)
 {
     exp::sweep::SweepSpec spec;
     spec.workloads = {wl::syntheticSmall(2, 40)};
     spec.frequencies = {Frequency::ghz(1.0), Frequency::ghz(2.0),
                         Frequency::ghz(3.0), Frequency::ghz(4.0)};
     spec.seeds = exp::sweep::SweepSpec::replicateSeeds(42, 4);
+    spec.runOptions.mode = mode;
     const std::size_t cells = spec.cellCount();
 
     bool consistent = true;
@@ -250,8 +271,8 @@ emitSweepTrajectory(unsigned repeat, long explicit_workers,
         }
         if (serial_ms == 0.0)
             serial_ms = best_ms;  // first config is the serial reference
-        appendSweepRecord(cfg.requested, cfg.effective, repeat, serial_ms,
-                          best_ms, digest, cells, json_path);
+        appendSweepRecord(mode, cfg.requested, cfg.effective, repeat,
+                          serial_ms, best_ms, digest, cells, json_path);
     }
     return consistent;
 }
@@ -261,12 +282,15 @@ emitSweepTrajectory(unsigned repeat, long explicit_workers,
 int
 main(int argc, char **argv)
 {
-    // --repeat/--workers/--json are ours, not google-benchmark's:
-    // they shape the appended sweep trajectory records. Strip them
-    // before benchmark::Initialize rejects them as unrecognized.
+    // --repeat/--workers/--json/--mode are ours, not
+    // google-benchmark's: they shape the appended sweep trajectory
+    // records. Strip them before benchmark::Initialize rejects them as
+    // unrecognized. --help prints our flags and then falls through so
+    // google-benchmark documents its own.
     unsigned repeat = 1;
     long workers = 0;  // 0: default ladder, clamped to hardware width
     std::string json_path = "BENCH_sweep.json";
+    exp::SimMode mode = exp::SimMode::Exact;
     int kept = 1;
     for (int i = 1; i < argc; ++i) {
         const char *arg = argv[i];
@@ -278,7 +302,21 @@ main(int argc, char **argv)
             workers = std::atol(arg + 10);
         } else if (std::strncmp(arg, "--json=", 7) == 0) {
             json_path = arg + 7;
+        } else if (std::strncmp(arg, "--mode=", 7) == 0) {
+            mode = exp::parseSimMode(arg + 7);
         } else {
+            if (std::strcmp(arg, "--help") == 0)
+                std::printf(
+                    "micro_simulator sweep-trajectory flags (the rest "
+                    "go to google-benchmark):\n"
+                    "  --mode=exact|sampled  trajectory grid fidelity "
+                    "(default exact)\n"
+                    "  --repeat=N            repeats per worker count, "
+                    "min wall recorded\n"
+                    "  --workers=N           measure only this pool "
+                    "width (default ladder 1,2,8)\n"
+                    "  --json=PATH           trajectory file (default "
+                    "BENCH_sweep.json)\n\n");
             argv[kept++] = argv[i];
         }
     }
@@ -290,7 +328,7 @@ main(int argc, char **argv)
         return 1;
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
-    if (!emitSweepTrajectory(repeat, workers, json_path)) {
+    if (!emitSweepTrajectory(mode, repeat, workers, json_path)) {
         std::fprintf(stderr,
                      "micro_simulator: FINGERPRINT MISMATCH across "
                      "repeats — runs are not deterministic\n");

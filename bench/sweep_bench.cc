@@ -15,12 +15,22 @@
  * end-to-end determinism check for CI.
  *
  * Usage: sweep_bench [--benchmarks=4] [--seeds=1] [--workers=N]
+ *                    [--mode=exact|sampled] [--startup-us=60]
+ *                    [--detail-us=30] [--gap-us=980]
  *                    [--repeat=N] [--json=BENCH_sweep.json] [--progress]
  *                    [--profile] [--expect-fingerprint=0x...]
  *
  * --repeat=N measures each configuration N times and reports the
  * minimum wall time (noise floor on loaded machines); every repeat
- * must reproduce the same fingerprint.
+ * must reproduce the same fingerprint — in either mode, since sampled
+ * runs are exactly as deterministic as exact ones.
+ *
+ * --mode=sampled runs the grid under interval sampling (detail
+ * windows + analytically fast-forwarded gaps, DESIGN.md section 11);
+ * the window placement flags are ignored in exact mode. Sampled
+ * fingerprints are stable but intentionally distinct from exact ones,
+ * and each JSONL record carries a "mode" field so the perf-trajectory
+ * tooling (scripts/perf_guard.py) only ever compares like with like.
  *
  * --profile reports the hot-path profiler's per-subsystem wall-time
  * breakdown for each configuration and embeds it in the JSONL record;
@@ -152,6 +162,35 @@ int
 main(int argc, char **argv)
 {
     bench::Args args(argc, argv);
+    if (args.has("help")) {
+        std::cout <<
+            "sweep_bench: sweep-engine scaling benchmark and "
+            "determinism self-check\n"
+            "  --benchmarks=N        workloads from the DaCapo suite "
+            "(default 4)\n"
+            "  --seeds=N             replicate seeds per workload "
+            "(default 1)\n"
+            "  --workers=N           measure only this pool width "
+            "(default: 1,2,4,... up to hardware)\n"
+            "  --mode=exact|sampled  simulation fidelity (default "
+            "exact)\n"
+            "  --startup-us=N        sampled: initial detail period "
+            "(default 60)\n"
+            "  --detail-us=N         sampled: periodic detail window "
+            "(default 30)\n"
+            "  --gap-us=N            sampled: fast-forwarded gap "
+            "(default 980)\n"
+            "  --repeat=N            repeats per configuration, min "
+            "wall reported (default 1)\n"
+            "  --json=PATH           perf-trajectory JSONL file "
+            "(default BENCH_sweep.json)\n"
+            "  --progress            progress/ETA lines on stderr\n"
+            "  --profile             per-subsystem wall breakdown "
+            "(DVFS_PROFILE=ON builds)\n"
+            "  --expect-fingerprint=0x...  fail unless the serial "
+            "digest matches\n";
+        return 0;
+    }
     const auto n_bench =
         static_cast<std::size_t>(args.getInt("benchmarks", 4));
     const auto n_seeds = static_cast<std::size_t>(args.getInt("seeds", 1));
@@ -168,6 +207,7 @@ main(int argc, char **argv)
         profiling = false;
     }
     const std::string expect_fp = args.get("expect-fingerprint");
+    const exp::SimMode mode = bench::modeFromArgs(args);
 
     exp::sweep::SweepSpec spec;
     for (const auto &params : wl::dacapoSuite()) {
@@ -178,6 +218,8 @@ main(int argc, char **argv)
     spec.frequencies = {Frequency::ghz(1.0), Frequency::ghz(2.0),
                         Frequency::ghz(3.0), Frequency::ghz(4.0)};
     spec.seeds = exp::sweep::SweepSpec::replicateSeeds(42, n_seeds);
+    spec.runOptions.mode = mode;
+    spec.runOptions.sampling = bench::samplingFromArgs(args);
 
     const std::size_t cells = spec.cellCount();
     const unsigned hw = bench::hardwareWidth();
@@ -185,7 +227,8 @@ main(int argc, char **argv)
     std::cout << "sweep_bench: " << spec.workloads.size()
               << " benchmarks x " << spec.frequencies.size()
               << " frequencies x " << spec.seeds.size() << " seeds = "
-              << cells << " cells, " << hw << " hardware threads\n\n";
+              << cells << " cells, " << hw << " hardware threads, "
+              << exp::simModeName(mode) << " mode\n\n";
 
     // Worker counts to measure: serial reference first, then powers
     // of two up to the hardware width. An explicit --workers /
@@ -225,7 +268,8 @@ main(int argc, char **argv)
 
         bench::SweepJsonRecord rec("sweep_bench",
                                    "workers=" + std::to_string(m.workers));
-        rec.add("workers", static_cast<std::uint64_t>(m.workers))
+        rec.add("mode", exp::simModeName(mode))
+            .add("workers", static_cast<std::uint64_t>(m.workers))
             .add("requested_workers", static_cast<std::uint64_t>(m.workers))
             .add("effective_workers", static_cast<std::uint64_t>(m.workers))
             .add("cells", static_cast<std::uint64_t>(cells))

@@ -72,7 +72,7 @@ main(int argc, char **argv)
     const auto target = Frequency::mhz(
         argc > 3 ? static_cast<std::uint32_t>(std::atoi(argv[3])) : 4000);
 
-    auto predictors = pred::makeFigure3Predictors();
+    auto predictors = pred::PredictorRegistry::instance().figure3Set();
 
     std::vector<std::string> headers = {knob, "speedup"};
     for (const auto &p : predictors)

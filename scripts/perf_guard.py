@@ -50,7 +50,13 @@ def load_records(path):
 
 
 def config_key(rec):
-    return (rec.get("bench"), rec.get("run"), rec.get("cells"))
+    # Rows predate the mode field; they were all exact-mode runs, so a
+    # missing mode compares like-for-like against explicit "exact".
+    # Sampled rows only ever compare against sampled rows: the two
+    # modes differ by an order of magnitude in throughput, and a
+    # cross-mode comparison would drown every real regression.
+    return (rec.get("bench"), rec.get("run"), rec.get("cells"),
+            rec.get("mode", "exact"))
 
 
 def latest_baseline(baseline, rec):

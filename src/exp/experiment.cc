@@ -8,13 +8,38 @@
 
 namespace dvfs::exp {
 
+const char *
+simModeName(SimMode m)
+{
+    switch (m) {
+      case SimMode::Exact:
+        return "exact";
+      case SimMode::Sampled:
+        return "sampled";
+    }
+    return "?";
+}
+
+SimMode
+parseSimMode(const std::string &name)
+{
+    if (name == "exact")
+        return SimMode::Exact;
+    if (name == "sampled")
+        return SimMode::Sampled;
+    fatal("unknown simulation mode '%s' (expected exact|sampled)",
+          name.c_str());
+}
+
 FixedRunOutput
 runFixed(const wl::WorkloadParams &params, Frequency freq,
-         const FixedRunOptions &opts)
+         const RunOptions &opts)
 {
     os::SystemConfig sys_cfg = wl::defaultSystemConfig(freq);
     sys_cfg.seed = opts.seed;
     wl::BenchInstance inst = wl::buildBenchmark(params, sys_cfg);
+    if (opts.mode == SimMode::Sampled)
+        inst.sys->enableSampling(opts.sampling);
 
     pred::RunRecorder rec(*inst.sys, opts.keepEvents);
     inst.sys->addListener(&rec);
@@ -41,6 +66,9 @@ runFixed(const wl::WorkloadParams &params, Frequency freq,
     out.allocatedBytes = inst.runtime->heap().totalAllocated();
     out.totals = inst.sys->totalCounters();
     out.events = res.events;
+    out.mode = opts.mode;
+    if (const sim::SamplingController *sc = inst.sys->sampling())
+        out.sampling = sc->finalStats();
     return out;
 }
 
@@ -49,6 +77,10 @@ runManaged(const wl::WorkloadParams &params,
            const mgr::ManagerConfig &mgr_cfg, const power::VfTable &table,
            const RunOptions &opts)
 {
+    if (opts.mode != SimMode::Exact)
+        fatal("runManaged requires SimMode::Exact: the sampled fast path "
+              "fits its model at one frequency and the manager rescales "
+              "the clock mid-run");
     os::SystemConfig sys_cfg = wl::defaultSystemConfig(table.highest());
     sys_cfg.seed = opts.seed;
     wl::BenchInstance inst = wl::buildBenchmark(params, sys_cfg);
@@ -77,16 +109,6 @@ runManaged(const wl::WorkloadParams &params,
     out.averageGHz = inst.sys->coreDomain().averageGHz(0, res.totalTime);
     out.transitions = inst.sys->coreDomain().transitions();
     return out;
-}
-
-ManagedRunOutput
-runManaged(const wl::WorkloadParams &params,
-           const mgr::ManagerConfig &mgr_cfg, const power::VfTable &table,
-           std::uint64_t seed)
-{
-    RunOptions opts;
-    opts.seed = seed;
-    return runManaged(params, mgr_cfg, table, opts);
 }
 
 HardenedRunOutput

@@ -7,6 +7,7 @@
 #ifndef DVFS_EXP_EXPERIMENT_HH
 #define DVFS_EXP_EXPERIMENT_HH
 
+#include <string>
 #include <vector>
 
 #include "fault/auditor.hh"
@@ -15,10 +16,23 @@
 #include "power/power_model.hh"
 #include "power/vf_table.hh"
 #include "pred/record.hh"
+#include "sim/sampling.hh"
 #include "wl/builder.hh"
 #include "wl/suite.hh"
 
 namespace dvfs::exp {
+
+/** Simulation fidelity of a run. */
+enum class SimMode {
+    Exact,    ///< cycle-accurate throughout (the golden oracle)
+    Sampled,  ///< detailed windows + analytically fast-forwarded gaps
+};
+
+/** Printable name of a simulation mode ("exact"/"sampled"). */
+const char *simModeName(SimMode m);
+
+/** Parse a mode name; fatals on anything but "exact"/"sampled". */
+SimMode parseSimMode(const std::string &name);
 
 /** Everything collected from one fixed-frequency ground-truth run. */
 struct FixedRunOutput {
@@ -31,6 +45,12 @@ struct FixedRunOutput {
     std::uint64_t allocatedBytes = 0;
     uarch::PerfCounters totals;
     std::uint64_t events = 0;
+
+    /** Mode the run executed under (new fields: fingerprint-neutral). */
+    SimMode mode = SimMode::Exact;
+
+    /** Sampling provenance; all-zero for exact runs. */
+    sim::SampleStats sampling;
 };
 
 /**
@@ -44,13 +64,13 @@ struct RunOptions {
     bool keepEvents = false;     ///< retain the raw sync-event trace
     bool measureEnergy = true;   ///< attach the energy meter
     std::uint64_t seed = 42;     ///< machine seed (workload determinism)
-};
 
-/**
- * @deprecated Old name of RunOptions, kept as an alias for one PR;
- * use exp::RunOptions.
- */
-using FixedRunOptions = RunOptions;
+    /** Fidelity. Sampled is fixed-frequency only (runFixed). */
+    SimMode mode = SimMode::Exact;
+
+    /** Window placement when mode == Sampled; ignored otherwise. */
+    sim::SamplingConfig sampling;
+};
 
 /**
  * Run @p params at a fixed frequency on the default Table II machine.
@@ -75,17 +95,7 @@ struct ManagedRunOutput {
 ManagedRunOutput runManaged(const wl::WorkloadParams &params,
                             const mgr::ManagerConfig &mgr_cfg,
                             const power::VfTable &table,
-                            const RunOptions &opts);
-
-/**
- * @deprecated Seed-only overload kept for one PR; use the RunOptions
- * overload. Behaves as RunOptions{.seed = seed} with energy metering
- * on (the historical default).
- */
-ManagedRunOutput runManaged(const wl::WorkloadParams &params,
-                            const mgr::ManagerConfig &mgr_cfg,
-                            const power::VfTable &table,
-                            std::uint64_t seed = 42);
+                            const RunOptions &opts = RunOptions());
 
 /** Options for runHardened. */
 struct HardenedRunOptions {

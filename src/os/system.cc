@@ -161,12 +161,34 @@ System::requestStop(std::string reason)
 }
 
 void
+System::enableSampling(const sim::SamplingConfig &cfg)
+{
+    if (_runStarted)
+        fatal("enableSampling must be called before run()");
+    if (_sampler)
+        fatal("enableSampling called twice");
+    _sampler = std::make_unique<sim::SamplingController>(_eq, cfg);
+    _fastPath = std::make_unique<uarch::FastPathModel>(_cfg.cores);
+    _mem->enableWarmOverlay();
+    // Each gap charges at the freshest detail window's rates: promote
+    // the model's fitting windows at every detail -> gap boundary.
+    _sampler->onFlip([this](sim::SamplePhase p) {
+        if (p == sim::SamplePhase::FastForward)
+            _fastPath->age();
+    });
+}
+
+void
 System::setFrequency(Frequency f)
 {
     if (!f.valid())
         fatal("setFrequency: invalid frequency");
     if (f == _coreDomain.frequency())
         return;
+    if (_sampler)
+        fatal("setFrequency during a sampled run: the fast-path model "
+              "is fitted at a fixed frequency (use exact mode for "
+              "DVFS-transitioning runs)");
     Tick stall = _cfg.dvfsTransitionLatency;
     if (_faultPlan) {
         // The PCU may drop the request entirely, or take longer than
@@ -301,7 +323,8 @@ System::dispatch(Thread &t)
     if (_interceptor)
         a = _interceptor->interceptNext(t);
     if (!a) {
-        ThreadContext ctx{t.id, t.rng};
+        ThreadContext ctx{t.id, t.rng,
+                          _sampler && _sampler->fastForward()};
         a = t.program->next(ctx);
     }
     execute(t, std::move(*a));
@@ -309,6 +332,24 @@ System::dispatch(Thread &t)
 
 void
 System::execute(Thread &t, Action a)
+{
+    if (_sampler && _sampler->fastForward()) {
+        switch (a.kind) {
+          case ActionKind::Compute:
+          case ActionKind::MissCluster:
+          case ActionKind::StoreBurst:
+          case ActionKind::Alloc:
+            executeFastForward(t, std::move(a));
+            return;
+          default:
+            break;
+        }
+    }
+    executeDetailed(t, std::move(a));
+}
+
+void
+System::executeDetailed(Thread &t, Action a)
 {
     DVFS_PROFILE_SCOPE(Os);
     DVFS_ASSERT(t.core >= 0, "executing on no core");
@@ -320,6 +361,8 @@ System::execute(Thread &t, Action a)
       case ActionKind::Compute: {
         uarch::PerfCounters tmp;
         Tick end = core.executeCompute(a.compute, start, tmp);
+        if (_sampler)
+            _sampler->stats().detailActions += 1;
         _eq.schedule(end, [this, tp, end, tmp] {
             finishTimedAction(*tp, end, tmp);
         });
@@ -328,6 +371,11 @@ System::execute(Thread &t, Action a)
       case ActionKind::MissCluster: {
         uarch::PerfCounters tmp;
         Tick end = core.executeCluster(a.cluster, start, tmp);
+        if (_fastPath) {
+            _fastPath->observeCluster(a.cluster, _sched.busyCores(),
+                                      end - start, tmp);
+            _sampler->stats().detailActions += 1;
+        }
         _eq.schedule(end, [this, tp, end, tmp] {
             finishTimedAction(*tp, end, tmp);
         });
@@ -336,6 +384,11 @@ System::execute(Thread &t, Action a)
       case ActionKind::StoreBurst: {
         uarch::PerfCounters tmp;
         Tick end = core.executeStoreBurst(a.burst, start, tmp);
+        if (_fastPath) {
+            _fastPath->observeBurst(a.burst, _sched.busyCores(),
+                                    end - start, tmp);
+            _sampler->stats().detailActions += 1;
+        }
         _eq.schedule(end, [this, tp, end, tmp] {
             finishTimedAction(*tp, end, tmp);
         });
@@ -373,6 +426,155 @@ System::execute(Thread &t, Action a)
         finishThread(t);
         break;
     }
+}
+
+void
+System::executeFastForward(Thread &t, Action first)
+{
+    DVFS_PROFILE_SCOPE(Os);
+    DVFS_ASSERT(t.core >= 0, "executing on no core");
+    const Tick lumpStart = frozenStart(_eq.now());
+    // Lumps are capped at one timeslice of virtual time so scheduling
+    // decisions, safepoint polls and stop-the-world quiescence are
+    // delayed by at most the quantum exact mode already allows a
+    // thread to run unpreempted.
+    const Tick cap = lumpStart + _cfg.timeslice;
+    const Tick ffEnd = _sampler->phaseEnd();
+    sim::SampleStats &stats = _sampler->stats();
+
+    Tick vt = lumpStart;
+    uarch::PerfCounters acc;
+    std::optional<Action> tail;
+    std::uint64_t charged = 0;
+    Action a = std::move(first);
+
+    while (true) {
+        if (a.kind == ActionKind::Alloc) {
+            // The allocator is time-blind, so allocation folds into
+            // the lump: a zero-init replacement is charged like any
+            // other action; a GC park replacement terminates the lump
+            // below as a non-chargeable action.
+            std::optional<Action> repl;
+            if (_interceptor)
+                repl = _interceptor->onAlloc(t, a.allocBytes);
+            if (repl) {
+                a = std::move(*repl);
+                continue;
+            }
+            // No managed runtime: allocation is free; pull the next
+            // action.
+        } else {
+            Tick elapsed = 0;
+            if (!chargeFastForward(t, a, vt, elapsed, acc)) {
+                tail = std::move(a);
+                break;
+            }
+            vt += elapsed;
+            charged += 1;
+            stats.ffActions += 1;
+            // The action cap keeps the run's event cap meaningful for
+            // pathological programs whose actions take zero time.
+            if (vt >= cap || vt >= ffEnd || charged >= 1u << 16)
+                break;
+        }
+        // Pull the next action exactly as dispatch() would, with the
+        // lite-timing hint raised.
+        std::optional<Action> next;
+        if (_interceptor)
+            next = _interceptor->interceptNext(t);
+        if (!next) {
+            ThreadContext ctx{t.id, t.rng, true};
+            next = t.program->next(ctx);
+        }
+        a = std::move(*next);
+    }
+
+    if (charged == 0 && tail) {
+        // The first action was not chargeable (cold model or a
+        // non-timed action): nothing accumulated, run it exactly.
+        // Never a lite spec — lite work is always chargeable (naive
+        // fallback), so a tail is either sync/exit or a full spec.
+        executeDetailed(t, std::move(*tail));
+        return;
+    }
+
+    stats.ffCommits += 1;
+    t.ffAccum = acc;
+    t.ffPending = std::move(tail);
+    Thread *tp = &t;
+    _eq.schedule(vt, [this, tp] { commitFastForward(*tp); });
+}
+
+bool
+System::chargeFastForward(Thread &t, const Action &a, Tick vt,
+                          Tick &elapsed, uarch::PerfCounters &acc)
+{
+    uarch::CoreModel &core = *_cores[static_cast<std::uint32_t>(t.core)];
+    switch (a.kind) {
+      case ActionKind::Compute:
+        // Already O(1) analytic and exact at any frequency.
+        elapsed = core.executeCompute(a.compute, vt, acc) - vt;
+        return true;
+
+      case ActionKind::MissCluster: {
+        if (_fastPath->chargeCluster(a.cluster, _sched.busyCores(),
+                                     elapsed, acc)) {
+            return true;
+        }
+        if (!a.cluster.lite())
+            return false;
+        // Cold model on an address-free spec: coarse deterministic
+        // estimate (loads charged as shared-cache hits), surfaced in
+        // the stats as a fallback.
+        uarch::ComputeSpec naive{a.cluster.overlapInstructions, 0,
+                                 a.cluster.loadCount(), 1.0};
+        elapsed = core.executeCompute(naive, vt, acc) - vt;
+        acc.missClusters += 1;
+        _sampler->stats().ffFallbacks += 1;
+        return true;
+      }
+
+      case ActionKind::StoreBurst: {
+        // The burst's cache side effects are load-bearing — GC trace
+        // speed depends on freshly zeroed nursery lines being
+        // resident — but per-line tag walks dominate the whole
+        // simulator's wall time. Charge the timing from the fitted
+        // model and record the footprint in the hierarchy's warm
+        // overlay, which answers later misses to these lines at L3
+        // speed without ever having walked them.
+        if (!_fastPath->chargeBurst(a.burst, _sched.busyCores(), elapsed,
+                                    acc)) {
+            return false;  // cold shape: the detailed tail warms it
+        }
+        _mem->warmLines(a.burst.baseAddr, a.burst.lines);
+        return true;
+      }
+
+      default:
+        return false;
+    }
+}
+
+void
+System::commitFastForward(Thread &t)
+{
+    if (_runEnded)
+        return;
+    if (t.state != ThreadState::Running)
+        panic("thread %u ('%s') committing a fast-forward lump while %s",
+              t.id, t.name.c_str(), threadStateName(t.state));
+    t.counters += t.ffAccum;
+    t.ffAccum = uarch::PerfCounters{};
+    if (t.ffPending) {
+        Action tail = std::move(*t.ffPending);
+        t.ffPending.reset();
+        // Re-enters execute(): a sync tail runs its exact path, a
+        // cold-model timed tail either starts the next lump (model
+        // warmed meanwhile) or falls back to detailed execution.
+        execute(t, std::move(tail));
+        return;
+    }
+    onActionDone(t);
 }
 
 void
@@ -627,6 +829,9 @@ System::run(Tick limit)
     if (_mainThread == kNoThread)
         fatal("System::run without a main thread");
     _runStarted = true;
+
+    if (_sampler)
+        _sampler->start();
 
     for (auto &t : _threads) {
         t->spawnTick = _eq.now();

@@ -29,9 +29,11 @@
 #include "os/trace.hh"
 #include "sim/event_queue.hh"
 #include "sim/rng.hh"
+#include "sim/sampling.hh"
 #include "uarch/cache.hh"
 #include "uarch/core.hh"
 #include "uarch/dram.hh"
+#include "uarch/fastpath.hh"
 #include "uarch/freq_domain.hh"
 
 namespace dvfs::fault {
@@ -149,6 +151,16 @@ class System
 
     /** Register a trace listener (predictor recorder, runtime, ...). */
     void addListener(SyncListener *l) { _listeners.push_back(l); }
+
+    /**
+     * Enable interval-sampled execution: detail windows run the full
+     * cycle-accurate path (and fit the fast-path model), gaps charge
+     * timed actions analytically in batched lumps. Call before run().
+     * Sampled runs must stay at a fixed frequency (the fitted model
+     * stores wall-clock tick means valid only at the fitting
+     * frequency); setFrequency fatals while sampling is enabled.
+     */
+    void enableSampling(const sim::SamplingConfig &cfg);
     /// @}
 
     /// @name Services for the runtime and the energy manager
@@ -239,6 +251,18 @@ class System
     std::uint32_t liveAppThreads() const;
 
     const Scheduler &scheduler() const { return _sched; }
+
+    /** Sampling controller, or nullptr when running exact. */
+    const sim::SamplingController *sampling() const
+    {
+        return _sampler.get();
+    }
+
+    /** Fast-path model, or nullptr when running exact. */
+    const uarch::FastPathModel *fastPath() const
+    {
+        return _fastPath.get();
+    }
     /// @}
 
   private:
@@ -274,6 +298,27 @@ class System
 
     /** Execute one action for a running thread. */
     void execute(Thread &t, Action a);
+
+    /** The cycle-accurate half of execute() (detail phase/fallback). */
+    void executeDetailed(Thread &t, Action a);
+
+    /**
+     * Fast-forward batching: charge @p first and as many subsequent
+     * actions as possible analytically, then schedule one lump-commit
+     * event at the accumulated virtual time.
+     */
+    void executeFastForward(Thread &t, Action first);
+
+    /**
+     * Charge one action from the fast-path model at virtual time
+     * @p vt. Returns false for actions that must execute exactly
+     * (sync, exit, cold-model full-spec work).
+     */
+    bool chargeFastForward(Thread &t, const Action &a, Tick vt,
+                           Tick &elapsed, uarch::PerfCounters &acc);
+
+    /** Commit an in-flight fast-forward lump (event callback). */
+    void commitFastForward(Thread &t);
 
     /** Commit deferred counters and continue the thread. */
     void finishTimedAction(Thread &t, Tick end,
@@ -342,6 +387,10 @@ class System
     fault::FaultPlan *_faultPlan = nullptr;
     bool _stopRequested = false;
     std::string _stopReason;
+
+    /** Sampled-mode machinery (both null when running exact). */
+    std::unique_ptr<sim::SamplingController> _sampler;
+    std::unique_ptr<uarch::FastPathModel> _fastPath;
 };
 
 } // namespace dvfs::os

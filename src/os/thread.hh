@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "os/action.hh"
@@ -38,6 +39,15 @@ const char *threadStateName(ThreadState s);
 struct ThreadContext {
     ThreadId tid;
     sim::Rng &rng;
+
+    /**
+     * True when the OS is fast-forwarding (sampled mode): the program
+     * must perform the *identical* RNG draw sequence but may return
+     * address-free lite work descriptors (uarch work specs with their
+     * lite fields set) instead of materialising addresses. Programs
+     * may ignore the flag — a full spec is always acceptable.
+     */
+    bool liteTiming = false;
 };
 
 /**
@@ -116,6 +126,21 @@ class Thread
 
     /** Futex other threads wait on to join this thread. */
     SyncId exitFutex = kNoSync;
+
+    /// @name Fast-forward lump state (sampled mode)
+    ///
+    /// A fast-forward batch charges many actions at construction time
+    /// and commits them with a single event; the accumulators live on
+    /// the thread so the commit callback captures only a pointer
+    /// (staying inside the event kernel's inline-callback budget).
+    /// @{
+
+    /** Counters accumulated by the in-flight lump. */
+    uarch::PerfCounters ffAccum;
+
+    /** Non-chargeable action that terminated the lump, if any. */
+    std::optional<Action> ffPending;
+    /// @}
 
     bool finished() const { return state == ThreadState::Finished; }
 };

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cmath>
 
-#include "pred/registry.hh"
 #include "sim/log.hh"
 
 namespace dvfs::pred {
@@ -227,14 +226,6 @@ DepPredictor::predict(const RunView &run, Frequency target) const
     const double ratio = freqRatio(run.baseFreq(), target);
     const std::vector<Epoch> &epochs = run.epochs();
     return predictEpochRange(epochs, 0, epochs.size(), ratio);
-}
-
-// ------------------------------------------------------------------ zoo
-
-std::vector<std::unique_ptr<Predictor>>
-makeFigure3Predictors()
-{
-    return PredictorRegistry::instance().figure3Set();
 }
 
 } // namespace dvfs::pred

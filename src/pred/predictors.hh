@@ -144,14 +144,6 @@ class DepPredictor : public Predictor
     bool _acrossEpochs;
 };
 
-/**
- * The full predictor zoo of Figure 3 (M+CRIT/COOP/DEP x +/-BURST).
- *
- * @deprecated Thin wrapper over PredictorRegistry::figure3Set()
- * (registry.hh), kept for one PR; new code should use the registry.
- */
-std::vector<std::unique_ptr<Predictor>> makeFigure3Predictors();
-
 } // namespace dvfs::pred
 
 #endif // DVFS_PRED_PREDICTORS_HH

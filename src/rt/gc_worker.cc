@@ -28,12 +28,23 @@ GcWorkerProgram::next(os::ThreadContext &ctx)
         return os::Action::makeMutexLock(_rt.gcWorkLock());
 
       case State::PopWork: {
-        // Inside the work lock: take a unit if any work remains.
+        // Inside the work lock: take a unit if any work remains. A
+        // fast-forwarding simulation grabs several units per lock
+        // round trip — the traced and copied bytes are identical, the
+        // per-unit lock churn is what gets amortised.
+        std::uint64_t grab = cfg.copyUnitBytes;
+        if (ctx.liteTiming && cfg.ffCopyUnitBatch > 1)
+            grab *= cfg.ffCopyUnitBatch;
         std::uint64_t &rem = _rt.workerRemaining(_idx);
         if (rem > 0) {
-            _unitBytes = std::min<std::uint64_t>(rem, cfg.copyUnitBytes);
+            _unitBytes = std::min<std::uint64_t>(rem, grab);
             rem -= _unitBytes;
             _haveUnit = true;
+            const auto units = static_cast<std::uint32_t>(
+                (_unitBytes + cfg.copyUnitBytes - 1) / cfg.copyUnitBytes);
+            _traceClustersDue =
+                (cfg.traceClustersPerUnit + _rt.gcInflateExtraClusters()) *
+                units;
         } else {
             _haveUnit = false;
         }
@@ -49,22 +60,37 @@ GcWorkerProgram::next(os::ThreadContext &ctx)
         // Pointer-chase the live objects of this unit: dependent
         // loads spread over the used nursery. One unit takes several
         // clusters (roughly one pointer hop per few tens of bytes).
+        //
+        // In fast-forward gaps the addresses are never walked — the
+        // fast-path model charges by shape — so from the second
+        // collection on the spec goes lite: same shape key, no
+        // address generation. The first collection always
+        // materialises; its clusters execute detailed while the mark
+        // shape's era is cold (promotion happens only at window
+        // flips, so nothing this collection observes can be charged
+        // within it) and teach the model. Detail windows and exact
+        // mode materialise too, so window-overlapping marks keep
+        // refreshing the mark era.
         uarch::MissClusterSpec spec;
-        std::uint64_t span = std::max<std::uint64_t>(
-            _rt.nurseryScanBytes(), 64);
-        for (std::uint32_t c = 0; c < cfg.traceChains; ++c) {
-            std::vector<std::uint64_t> chain;
-            chain.reserve(cfg.traceChainDepth);
-            for (std::uint32_t d = 0; d < cfg.traceChainDepth; ++d) {
-                std::uint64_t off = ctx.rng.nextBounded(span) & ~63ULL;
-                chain.push_back(_rt.nurseryScanBase() + off);
-            }
-            spec.chains.push_back(std::move(chain));
-        }
         spec.overlapInstructions = cfg.traceOverlapInstructions;
-        const std::uint32_t clusters =
-            cfg.traceClustersPerUnit + _rt.gcInflateExtraClusters();
-        if (++_traceClustersDone >= clusters) {
+        if (ctx.liteTiming && _rt.collections() > 1) {
+            spec.liteChains = cfg.traceChains;
+            spec.liteChainDepth = cfg.traceChainDepth;
+        } else {
+            std::uint64_t span = std::max<std::uint64_t>(
+                _rt.nurseryScanBytes(), 64);
+            spec.chains.reserve(cfg.traceChains);
+            for (std::uint32_t c = 0; c < cfg.traceChains; ++c) {
+                std::vector<std::uint64_t> chain;
+                chain.reserve(cfg.traceChainDepth);
+                for (std::uint32_t d = 0; d < cfg.traceChainDepth; ++d) {
+                    std::uint64_t off = ctx.rng.nextBounded(span) & ~63ULL;
+                    chain.push_back(_rt.nurseryScanBase() + off);
+                }
+                spec.chains.push_back(std::move(chain));
+            }
+        }
+        if (++_traceClustersDone >= _traceClustersDue) {
             _traceClustersDone = 0;
             _state = State::Copy;
         }

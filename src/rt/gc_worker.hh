@@ -57,6 +57,8 @@ class GcWorkerProgram : public os::ThreadProgram
     bool _haveUnit = false;
     std::uint64_t _unitBytes = 0;
     std::uint32_t _traceClustersDone = 0;
+    /** Trace clusters this unit owes (scales with batched grabs). */
+    std::uint32_t _traceClustersDue = 0;
 };
 
 } // namespace dvfs::rt

@@ -1,0 +1,70 @@
+#include "sim/sampling.hh"
+
+#include "sim/log.hh"
+
+namespace dvfs::sim {
+
+SamplingController::SamplingController(EventQueue &eq,
+                                       const SamplingConfig &cfg)
+    : _eq(eq), _cfg(cfg)
+{
+    if (_cfg.detailWindow == 0)
+        fatal("sampling: detailWindow must be positive (the analytical "
+              "model is fitted from detail windows)");
+}
+
+void
+SamplingController::start()
+{
+    if (_started)
+        fatal("SamplingController::start called twice");
+    _started = true;
+    _phase = SamplePhase::Detail;
+    _phaseStart = _eq.now();
+    if (_cfg.gapWindow == 0) {
+        // Degenerate schedule: detail forever, bit-identical to exact.
+        _phaseEnd = kTickNever;
+        return;
+    }
+    _phaseEnd = _eq.now() + _cfg.startupDetail;
+    if (_cfg.startupDetail == 0)
+        _phaseEnd = _eq.now() + _cfg.detailWindow;
+    _eq.schedule(_phaseEnd, [this] { flip(); });
+}
+
+void
+SamplingController::flip()
+{
+    const Tick now = _eq.now();
+    DVFS_ASSERT(now == _phaseEnd, "sampling phase flip at wrong tick");
+    if (_phase == SamplePhase::Detail) {
+        _stats.detailWindows += 1;
+        _stats.detailTicks += now - _phaseStart;
+        _phase = SamplePhase::FastForward;
+        _phaseEnd = now + _cfg.gapWindow;
+    } else {
+        _stats.ffWindows += 1;
+        _stats.ffTicks += now - _phaseStart;
+        _phase = SamplePhase::Detail;
+        _phaseEnd = now + _cfg.detailWindow;
+    }
+    _phaseStart = now;
+    _eq.schedule(_phaseEnd, [this] { flip(); });
+    if (_onFlip)
+        _onFlip(_phase);
+}
+
+SampleStats
+SamplingController::finalStats() const
+{
+    SampleStats s = _stats;
+    const Tick partial =
+        _eq.now() > _phaseStart ? _eq.now() - _phaseStart : 0;
+    if (_phase == SamplePhase::Detail)
+        s.detailTicks += partial;
+    else
+        s.ffTicks += partial;
+    return s;
+}
+
+} // namespace dvfs::sim

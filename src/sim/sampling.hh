@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Interval-sampling controller: detail <-> fast-forward phase driver.
+ *
+ * Sampled simulation alternates between *detail* windows, executed
+ * with the full cycle-accurate machinery, and *fast-forward* gaps, in
+ * which timed actions are charged from an analytical model fitted
+ * online during the detail windows (see uarch/fastpath.hh and the
+ * batching executor in os/system.cc). The controller owns only the
+ * phase schedule: window boundaries are fixed simulated-time marks
+ * scheduled on the event queue, so the phase a given tick falls into
+ * is a pure function of the sampling configuration — never of host
+ * scheduling — and sampled runs are exactly as deterministic and
+ * worker-count-independent as exact runs (DESIGN.md section 11).
+ */
+
+#ifndef DVFS_SIM_SAMPLING_HH
+#define DVFS_SIM_SAMPLING_HH
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+
+#include "sim/event_queue.hh"
+#include "sim/time.hh"
+
+namespace dvfs::sim {
+
+/** Window schedule of a sampled run. */
+struct SamplingConfig {
+    /**
+     * Initial detailed period before the first fast-forward gap.
+     * Covers the serial setup phase and warms caches and the
+     * analytical model. 0 means "start alternating immediately".
+     */
+    Tick startupDetail = 60 * kTicksPerUs;
+
+    /** Length of each periodic detail window. Must be positive. */
+    Tick detailWindow = 30 * kTicksPerUs;
+
+    /**
+     * Length of each fast-forwarded gap between detail windows.
+     * 0 disables fast-forwarding entirely: the run stays in detail
+     * phase forever and is bit-identical to an exact run.
+     *
+     * The defaults (60us startup, 30us detail / 980us gap, ~3%
+     * detail coverage) are the measured sweet spot on the fig3 grid:
+     * >= 10x per-cell speedup at <= 5% mean slowdown-prediction
+     * error (see bench/fig9_sampling_accuracy.cc).
+     */
+    Tick gapWindow = 980 * kTicksPerUs;
+};
+
+/** Execution fidelity of the current instant. */
+enum class SamplePhase {
+    Detail,      ///< cycle-accurate execution (model observation)
+    FastForward, ///< analytical charging (model application)
+};
+
+/** Accounting of one sampled run, reported with the run output. */
+struct SampleStats {
+    std::uint64_t detailWindows = 0; ///< completed detail windows
+    std::uint64_t ffWindows = 0;     ///< completed fast-forward gaps
+    Tick detailTicks = 0;            ///< simulated time spent in detail
+    Tick ffTicks = 0;                ///< simulated time fast-forwarded
+    std::uint64_t detailActions = 0; ///< timed actions executed in detail
+    std::uint64_t ffActions = 0;     ///< timed actions charged analytically
+    std::uint64_t ffCommits = 0;     ///< lump-commit events (batches)
+    std::uint64_t ffFallbacks = 0;   ///< cold-model naive charges
+
+    /** Fraction of simulated time spent in detail windows. */
+    double
+    coverage() const
+    {
+        Tick total = detailTicks + ffTicks;
+        return total == 0
+                   ? 1.0
+                   : static_cast<double>(detailTicks)
+                         / static_cast<double>(total);
+    }
+};
+
+/**
+ * Drives detail <-> fast-forward transitions on the timing wheel.
+ *
+ * The schedule is purely time-based: [0, startupDetail) is detailed,
+ * then gaps of gapWindow and detail windows of detailWindow alternate
+ * forever. Phase-flip events are scheduled before any same-tick lump
+ * commit (they are inserted when the previous phase begins), so an
+ * action starting at a boundary tick is charged under the new phase's
+ * rules.
+ */
+class SamplingController
+{
+  public:
+    SamplingController(EventQueue &eq, const SamplingConfig &cfg);
+
+    /** Begin the schedule. Call once, before the run's first event. */
+    void start();
+
+    /** Phase at the current tick. */
+    SamplePhase phase() const { return _phase; }
+
+    /** True while fast-forwarding. */
+    bool fastForward() const
+    {
+        return _phase == SamplePhase::FastForward;
+    }
+
+    /**
+     * Tick at which the current phase ends (kTickNever when the run
+     * stays in detail forever). Lump construction must not cross it.
+     */
+    Tick phaseEnd() const { return _phaseEnd; }
+
+    const SamplingConfig &config() const { return _cfg; }
+
+    /**
+     * Hook invoked at every phase flip, after the phase changed, with
+     * the phase just entered. The executor uses it to age the
+     * analytical model at each detail -> fast-forward boundary.
+     */
+    void
+    onFlip(std::function<void(SamplePhase)> hook)
+    {
+        _onFlip = std::move(hook);
+    }
+
+    /** Mutable counters, bumped by the executor. */
+    SampleStats &stats() { return _stats; }
+
+    /**
+     * Stats with the in-progress phase folded in up to the current
+     * tick (for end-of-run reporting).
+     */
+    SampleStats finalStats() const;
+
+  private:
+    /** Boundary event: close the current phase, open the next. */
+    void flip();
+
+    EventQueue &_eq;
+    SamplingConfig _cfg;
+    SamplePhase _phase = SamplePhase::Detail;
+    Tick _phaseStart = 0;
+    Tick _phaseEnd = kTickNever;
+    bool _started = false;
+    SampleStats _stats;
+    std::function<void(SamplePhase)> _onFlip;
+};
+
+} // namespace dvfs::sim
+
+#endif // DVFS_SIM_SAMPLING_HH

@@ -1,5 +1,6 @@
 #include "uarch/cache.hh"
 
+#include <algorithm>
 #include <bit>
 
 #include "sim/log.hh"
@@ -124,6 +125,101 @@ CacheHierarchy::l3HitTicks() const
     return _l3TickCache;
 }
 
+void
+CacheHierarchy::enableWarmOverlay()
+{
+    _warmEnabled = true;
+    _warmLineShift = static_cast<std::uint32_t>(
+        std::countr_zero(static_cast<std::uint64_t>(_cfg.l3.lineBytes)));
+    // Three quarters of the L3: the real cache splits capacity
+    // between the write stream and load-installed lines (mutator
+    // working set, GC trace fronts), so a written line's expected
+    // residency is somewhat under one full L3 of younger installs.
+    _warmCapLines = _cfg.l3.sizeBytes / _cfg.l3.lineBytes * 3 / 4;
+    _warmL3Lines = _cfg.l3.sizeBytes / _cfg.l3.lineBytes;
+}
+
+bool
+CacheHierarchy::warmVictimDue()
+{
+    if (_warmRanges.empty())
+        return false;
+    // Live coverage: lines still warm across all non-stale ranges,
+    // saturated at one L3 capacity. With the default geometry a
+    // single gap writes more than an L3 of lines, so after the first
+    // gap this sits at the cap; during startup detail it is zero and
+    // no synthetic pressure is emitted (exact-equivalent warmup).
+    std::uint64_t coverage = 0;
+    for (auto it = _warmRanges.rbegin(); it != _warmRanges.rend(); ++it) {
+        if (_warmWritten - it->stamp > _warmCapLines)
+            break;
+        coverage += it->last - it->first;
+        if (coverage >= _warmL3Lines) {
+            coverage = _warmL3Lines;
+            break;
+        }
+    }
+    _warmDebt += coverage;
+    if (_warmDebt < _warmL3Lines)
+        return false;
+    _warmDebt -= _warmL3Lines;
+    return true;
+}
+
+void
+CacheHierarchy::warmLines(std::uint64_t baseAddr, std::uint32_t lines)
+{
+    if (!_warmEnabled || lines == 0)
+        return;
+    const std::uint64_t first = baseAddr >> _warmLineShift;
+    const std::uint64_t last = first + lines;
+    _warmWritten += lines;
+    if (!_warmRanges.empty()) {
+        WarmRange &top = _warmRanges.back();
+        // Nursery allocation is a bump pointer, so consecutive bursts
+        // are contiguous or overlapping: extend the newest range in
+        // place and refresh its stamp. Trimming the head keeps a
+        // range streamed past L3 capacity from claiming lines the
+        // real cache would long have evicted.
+        if (first <= top.last && last >= top.first) {
+            top.first = std::min(top.first, first);
+            top.last = std::max(top.last, last);
+            top.stamp = _warmWritten;
+            if (top.last - top.first > _warmCapLines)
+                top.first = top.last - _warmCapLines;
+            return;
+        }
+    }
+    if (_warmRanges.size() >= 8) {
+        const std::uint64_t now = _warmWritten;
+        const std::uint64_t cap = _warmCapLines;
+        std::erase_if(_warmRanges, [now, cap](const WarmRange &r) {
+            return now - r.stamp > cap;
+        });
+    }
+    WarmRange r{first, last, _warmWritten};
+    if (r.last - r.first > _warmCapLines)
+        r.first = r.last - _warmCapLines;
+    _warmRanges.push_back(r);
+}
+
+bool
+CacheHierarchy::warmHit(std::uint64_t addr)
+{
+    const std::uint64_t line = addr >> _warmLineShift;
+    // Stamps grow toward the back; once one range is too old, all
+    // earlier ones are older still.
+    for (auto it = _warmRanges.rbegin(); it != _warmRanges.rend(); ++it) {
+        if (_warmWritten - it->stamp > _warmCapLines)
+            break;
+        if (line >= it->first && line < it->last) {
+            _warmHitCount += 1;
+            return true;
+        }
+    }
+    return false;
+}
+
 CacheHierarchy::LoadOutcome
 CacheHierarchy::load(std::uint32_t core, std::uint64_t addr, Tick issue,
                      Frequency core_freq)
@@ -176,8 +272,32 @@ CacheHierarchy::load(std::uint32_t core, std::uint64_t addr, Tick issue,
         out.memLatency = t - issue;
         return out;
     }
+    // A line the overlay still holds warm would have been L3-resident
+    // had its burst executed in detail: satisfy the load at L3 speed.
+    // The access above already installed it in the real tags, and the
+    // victim's writeback is suppressed — in detail the set would not
+    // have evicted at all. Either way the install displaces a line,
+    // so the overlay's decay clock advances for loads too.
+    if (_warmEnabled) {
+        _warmWritten += 1;
+        if (warmHit(addr)) {
+            out.level = HitLevel::L3;
+            out.completion = t;
+            out.memLatency = t - issue;
+            return out;
+        }
+    }
     if (r3.writeback)
         _dram.write(*r3.writeback, t);
+    // The displaced line would, at overlay-coverage rate, have been a
+    // dirty burst line in exact mode: pay the writeback it would have
+    // cost. A clean victim gives the faithful address; on a cold fill
+    // flip a tag bit — channel and bank decode from the low line bits
+    // either way, so the read sees the same bank pressure.
+    else if (_warmEnabled && warmVictimDue())
+        _dram.write(r3.evictedClean ? *r3.evictedClean
+                                    : (addr ^ (std::uint64_t{1} << 32)),
+                    t);
 
     Tick done = _dram.read(addr, t);
     out.level = HitLevel::Dram;
@@ -191,6 +311,12 @@ CacheHierarchy::storeLine(std::uint32_t core, std::uint64_t addr, Tick issue)
 {
     DVFS_PROFILE_SCOPE(Cache);
     DVFS_ASSERT(core < _l1d.size(), "core index out of range");
+
+    // Every detailed store line advances the overlay's write clock so
+    // warm ranges decay at the same rate whether the writes that push
+    // them out executed in detail or were charged analytically.
+    if (_warmEnabled)
+        _warmWritten += 1;
 
     // Install dirty in the private levels so subsequent reads of
     // freshly initialized memory hit.
@@ -207,6 +333,11 @@ CacheHierarchy::storeLine(std::uint32_t core, std::uint64_t addr, Tick issue)
         // the SQ entry is released structurally immediately.
         return issue;
     }
+    // Warm-overlay lines count as on-chip for stores too: re-zeroing
+    // a line a fast-forwarded burst wrote drains at cache speed, as
+    // it would have had that burst executed in detail.
+    if (_warmEnabled && warmHit(addr))
+        return issue;
 
     // Store miss: the line allocates without fetching (write-combined
     // zeroing/copying), but its SQ entries are held until the core's
@@ -218,6 +349,12 @@ CacheHierarchy::storeLine(std::uint32_t core, std::uint64_t addr, Tick issue)
     // DRAM write bandwidth (and disturbs banks that reads share).
     if (r3.writeback)
         _dram.write(*r3.writeback, issue);
+    // As in load(): the displaced line would usually have been a
+    // dirty burst line in exact mode — pay its writeback.
+    else if (_warmEnabled && warmVictimDue())
+        _dram.write(r3.evictedClean ? *r3.evictedClean
+                                    : (addr ^ (std::uint64_t{1} << 32)),
+                    issue);
     Tick &port = _writePortFreeAt[core];
     port = std::max(port, issue) + _writeDrainTicks;
     return port;
@@ -232,6 +369,10 @@ CacheHierarchy::reset()
         c.reset();
     _l3.reset();
     std::fill(_writePortFreeAt.begin(), _writePortFreeAt.end(), 0);
+    _warmRanges.clear();
+    _warmWritten = 0;
+    _warmDebt = 0;
+    _warmHitCount = 0;
 }
 
 } // namespace dvfs::uarch

@@ -69,6 +69,13 @@ class Cache
         bool hit = false;
         /** Address of an evicted dirty line, if any. */
         std::optional<std::uint64_t> writeback;
+        /**
+         * Address of an evicted *clean* line, if any. Exact-mode
+         * walks ignore it; the hierarchy's warm overlay consults it
+         * to restore the writeback a fast-forwarded burst's dirty
+         * install would have produced.
+         */
+        std::optional<std::uint64_t> evictedClean;
     };
 
     Cache(std::string name, const CacheConfig &cfg);
@@ -225,7 +232,7 @@ Cache::accessWays(std::uint64_t addr, bool dirty)
         if ((meta[m] | kWayDirty) == want) {
             meta[m] |= mark;
             _hits.inc();
-            return Result{true, std::nullopt};
+            return Result{true, std::nullopt, std::nullopt};
         }
     }
 
@@ -246,7 +253,7 @@ Cache::accessWays(std::uint64_t addr, bool dirty)
         touchWay(_order[set], w);
         _mru[set] = w;
         _hits.inc();
-        return Result{true, std::nullopt};
+        return Result{true, std::nullopt, std::nullopt};
     }
 
     // Selection is identical to the classic stamp-per-way loop: the
@@ -271,12 +278,17 @@ Cache::accessWays(std::uint64_t addr, bool dirty)
             victim;
         _mru[set] = victim;
         _misses.inc();
-        Result res{false, std::nullopt};
+        Result res{false, std::nullopt, std::nullopt};
         const std::uint32_t vm = meta[victim];
-        if ((vm & (kWayValid | kWayDirty)) == (kWayValid | kWayDirty)) {
-            res.writeback = lineAddr(
+        if ((vm & kWayValid) != 0) {
+            const std::uint64_t va = lineAddr(
                 static_cast<std::uint64_t>(vm >> kWayTagShift), set);
-            _writebacks.inc();
+            if ((vm & kWayDirty) != 0) {
+                res.writeback = va;
+                _writebacks.inc();
+            } else {
+                res.evictedClean = va;
+            }
         }
         meta[victim] = (tag << kWayTagShift) | kWayValid | mark;
         return res;
@@ -287,7 +299,7 @@ Cache::accessWays(std::uint64_t addr, bool dirty)
     meta[victim] = (tag << kWayTagShift) | kWayValid | mark;
     touchWay(_order[set], victim);
     _mru[set] = victim;
-    return Result{false, std::nullopt};
+    return Result{false, std::nullopt, std::nullopt};
 }
 
 inline Cache::Result
@@ -368,6 +380,33 @@ class CacheHierarchy
      */
     Tick storeLine(std::uint32_t core, std::uint64_t addr, Tick issue);
 
+    /// @name Warm-range overlay (sampled runs only)
+    ///
+    /// Fast-forwarded store bursts are charged analytically, so their
+    /// lines never walk the tag arrays — yet their residency is
+    /// load-bearing: GC trace speed depends on freshly zeroed nursery
+    /// lines hitting on chip. The overlay records burst footprints as
+    /// coalesced address ranges (O(1) per burst instead of O(lines)
+    /// tag walks) and answers "would this line be L3-resident had the
+    /// burst executed in detail?" for loads and stores that miss the
+    /// real tags. A range stays warm until roughly one L3 capacity of
+    /// younger lines has been written past it (streaming LRU decay).
+    ///
+    /// Exact runs never enable the overlay, so their tag state,
+    /// timing and fingerprints are bit-identical with this machinery
+    /// compiled in.
+    /// @{
+
+    /** Arm the overlay (called once, before the run, by sampling). */
+    void enableWarmOverlay();
+
+    /** Record @p lines freshly written lines starting at @p baseAddr. */
+    void warmLines(std::uint64_t baseAddr, std::uint32_t lines);
+
+    /** Misses answered warm by the overlay so far (diagnostics). */
+    std::uint64_t warmHits() const { return _warmHitCount; }
+    /// @}
+
     /** Reset all cache state (between runs). */
     void reset();
 
@@ -384,6 +423,36 @@ class CacheHierarchy
     Dram &dram() { return _dram; }
 
   private:
+    /**
+     * One coalesced run of warm lines. [first, last) in line units;
+     * stamp is the overlay write clock when the range was last
+     * extended — the range decays once _warmWritten outruns it by an
+     * L3 capacity.
+     */
+    struct WarmRange {
+        std::uint64_t first = 0;
+        std::uint64_t last = 0;
+        std::uint64_t stamp = 0;
+    };
+
+    /** True when @p addr falls in a still-warm overlay range. */
+    bool warmHit(std::uint64_t addr);
+
+    /**
+     * Dirty-victim debt accumulator. In exact mode the L3 is largely
+     * populated by the gap's (dirty) burst lines, so a detail-window
+     * install usually evicts a dirty line and costs a DRAM write. The
+     * sampled tags never held those lines, so installs find clean or
+     * invalid ways and the write pressure vanishes — which quiets the
+     * banks and makes window loads read as less memory-bound than the
+     * exact run. Each install that produced no real writeback calls
+     * this; it returns true at a deterministic rate equal to the
+     * overlay's live coverage over L3 capacity (the probability the
+     * displaced line would have been a warm dirty one), and the
+     * caller issues the victim writeback exact mode would have paid.
+     */
+    bool warmVictimDue();
+
     HierarchyConfig _cfg;
     Dram &_dram;
     const FreqDomain &_uncore;
@@ -405,6 +474,18 @@ class CacheHierarchy
     mutable Tick _l2TickCache = 0;
     mutable Frequency _l3TickFreq{};
     mutable Tick _l3TickCache = 0;
+
+    /// @name Warm-range overlay state
+    /// @{
+    bool _warmEnabled = false;
+    std::uint32_t _warmLineShift = 6;   ///< log2(L3 line bytes)
+    std::uint64_t _warmCapLines = 0;    ///< L3 capacity, in lines
+    std::uint64_t _warmL3Lines = 0;     ///< total L3 lines (debt scale)
+    std::uint64_t _warmWritten = 0;     ///< overlay write clock (lines)
+    std::uint64_t _warmDebt = 0;        ///< dirty-victim accumulator
+    std::uint64_t _warmHitCount = 0;
+    std::vector<WarmRange> _warmRanges; ///< stamp-ordered, newest last
+    /// @}
 };
 
 } // namespace dvfs::uarch

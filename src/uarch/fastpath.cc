@@ -1,0 +1,194 @@
+#include "uarch/fastpath.hh"
+
+#include <algorithm>
+
+#include "sim/log.hh"
+
+namespace dvfs::uarch {
+
+FastPathModel::FastPathModel(std::uint32_t cores, const FastPathConfig &cfg)
+    : _cores(std::max<std::uint32_t>(1, cores)), _cfg(cfg)
+{
+}
+
+FastPathModel::ClusterShape &
+FastPathModel::clusterShape(std::uint32_t loads, std::uint64_t overlap,
+                            std::uint32_t hint)
+{
+    // Linear scan: a workload produces a handful of shapes (one per
+    // region-mix of its cluster recipe, plus the GC tracer's), so a
+    // short vector beats any hash map here.
+    for (auto &s : _clusters) {
+        if (s.loads == loads && s.overlapInstructions == overlap &&
+            s.shapeHint == hint) {
+            return s;
+        }
+    }
+    ClusterShape s;
+    s.loads = loads;
+    s.overlapInstructions = overlap;
+    s.shapeHint = hint;
+    s.lanes.resize(_cores + 1);
+    _clusters.push_back(std::move(s));
+    return _clusters.back();
+}
+
+FastPathModel::BurstShape &
+FastPathModel::burstShape(std::uint32_t storesPerLine)
+{
+    for (auto &s : _bursts) {
+        if (s.storesPerLine == storesPerLine)
+            return s;
+    }
+    BurstShape s;
+    s.storesPerLine = storesPerLine;
+    s.lanes.resize(_cores + 1);
+    _bursts.push_back(std::move(s));
+    return _bursts.back();
+}
+
+void
+FastPathModel::age()
+{
+    for (auto &s : _clusters)
+        for (auto &l : s.lanes)
+            l.promote(_cfg.minClusterObs);
+    for (auto &s : _bursts)
+        for (auto &l : s.lanes)
+            l.promote(_cfg.minBurstLines);
+}
+
+void
+FastPathModel::observeCluster(const MissClusterSpec &spec,
+                              std::uint32_t busyCores, Tick elapsed,
+                              const PerfCounters &delta)
+{
+    DVFS_ASSERT(!spec.lite(), "observing a lite cluster spec");
+    ClusterShape &s =
+        clusterShape(spec.loadCount(), spec.overlapInstructions,
+                     spec.shapeHint);
+    const std::uint32_t b = std::clamp<std::uint32_t>(busyCores, 1, _cores);
+    for (std::uint32_t lane : {0u, b}) {
+        Lane<CfCount_> &l = s.lanes[lane];
+        l.winWeight += 1;
+        l.winObs[CfElapsed] += elapsed;
+        l.winObs[CfCompute] += delta.computeTime;
+        l.winObs[CfTrueMem] += delta.trueMemTime;
+        l.winObs[CfCrit] += delta.critNonscaling;
+        l.winObs[CfLeading] += delta.leadingNonscaling;
+        l.winObs[CfStall] += delta.stallNonscaling;
+        l.winObs[CfL1] += delta.l1Hits;
+        l.winObs[CfL2] += delta.l2Hits;
+        l.winObs[CfL3] += delta.l3Hits;
+        l.winObs[CfDram] += delta.dramLoads;
+    }
+    _observedClusters += 1;
+}
+
+void
+FastPathModel::observeBurst(const StoreBurstSpec &spec,
+                            std::uint32_t busyCores, Tick elapsed,
+                            const PerfCounters &delta)
+{
+    if (spec.lines == 0)
+        return;
+    BurstShape &s = burstShape(spec.storesPerLine);
+    const std::uint32_t b = std::clamp<std::uint32_t>(busyCores, 1, _cores);
+    for (std::uint32_t lane : {0u, b}) {
+        Lane<BfCount_> &l = s.lanes[lane];
+        l.winWeight += spec.lines;
+        l.winObs[BfElapsed] += elapsed;
+        l.winObs[BfCompute] += delta.computeTime;
+        l.winObs[BfTrueMem] += delta.trueMemTime;
+        l.winObs[BfSqFull] += delta.sqFullTime;
+    }
+    _observedLines += spec.lines;
+}
+
+bool
+FastPathModel::chargeCluster(const MissClusterSpec &spec,
+                             std::uint32_t busyCores, Tick &elapsed,
+                             PerfCounters &pc)
+{
+    ClusterShape *s = nullptr;
+    const std::uint32_t loads = spec.loadCount();
+    for (auto &cand : _clusters) {
+        if (cand.loads == loads &&
+            cand.overlapInstructions == spec.overlapInstructions &&
+            cand.shapeHint == spec.shapeHint) {
+            s = &cand;
+            break;
+        }
+    }
+    if (!s)
+        return false;
+
+    // Prefer the occupancy-matched lane (contention-aware); fall back
+    // to the shape aggregate while the bucket is cold.
+    const std::uint32_t b = std::clamp<std::uint32_t>(busyCores, 1, _cores);
+    Lane<CfCount_> *lane = &s->lanes[b];
+    if (lane->eraWeight < _cfg.minClusterObs)
+        lane = &s->lanes[0];
+    if (lane->eraWeight < _cfg.minClusterObs)
+        return false;
+
+    lane->charged += 1;
+    const std::uint64_t w = lane->charged;
+    elapsed = emitShare(*lane, CfElapsed, w);
+    pc.busyTime += elapsed;
+    pc.instructions += spec.overlapInstructions;
+    pc.missClusters += 1;
+    pc.computeTime += emitShare(*lane, CfCompute, w);
+    pc.trueMemTime += emitShare(*lane, CfTrueMem, w);
+    pc.critNonscaling += emitShare(*lane, CfCrit, w);
+    pc.leadingNonscaling += emitShare(*lane, CfLeading, w);
+    pc.stallNonscaling += emitShare(*lane, CfStall, w);
+    pc.l1Hits += emitShare(*lane, CfL1, w);
+    pc.l2Hits += emitShare(*lane, CfL2, w);
+    pc.l3Hits += emitShare(*lane, CfL3, w);
+    pc.dramLoads += emitShare(*lane, CfDram, w);
+    return true;
+}
+
+bool
+FastPathModel::chargeBurst(const StoreBurstSpec &spec,
+                           std::uint32_t busyCores, Tick &elapsed,
+                           PerfCounters &pc)
+{
+    if (spec.lines == 0) {
+        elapsed = 0;
+        return true;
+    }
+    BurstShape *s = nullptr;
+    for (auto &cand : _bursts) {
+        if (cand.storesPerLine == spec.storesPerLine) {
+            s = &cand;
+            break;
+        }
+    }
+    if (!s)
+        return false;
+
+    const std::uint32_t b = std::clamp<std::uint32_t>(busyCores, 1, _cores);
+    Lane<BfCount_> *lane = &s->lanes[b];
+    if (lane->eraWeight < _cfg.minBurstLines)
+        lane = &s->lanes[0];
+    if (lane->eraWeight < _cfg.minBurstLines)
+        return false;
+
+    lane->charged += spec.lines;
+    const std::uint64_t w = lane->charged;
+    elapsed = emitShare(*lane, BfElapsed, w);
+    const std::uint32_t spl =
+        std::max<std::uint32_t>(1, spec.storesPerLine);
+    pc.busyTime += elapsed;
+    pc.instructions += static_cast<std::uint64_t>(spec.lines) * spl;
+    pc.storeBursts += 1;
+    pc.storeLines += spec.lines;
+    pc.computeTime += emitShare(*lane, BfCompute, w);
+    pc.trueMemTime += emitShare(*lane, BfTrueMem, w);
+    pc.sqFullTime += emitShare(*lane, BfSqFull, w);
+    return true;
+}
+
+} // namespace dvfs::uarch

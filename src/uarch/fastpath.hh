@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Online-fitted analytical timing model for fast-forwarded execution.
+ *
+ * During detail windows the model *observes* every miss cluster and
+ * store burst the cycle-accurate core executes: elapsed time plus the
+ * per-action counter deltas, keyed by the action's logical shape and
+ * by the number of busy cores at issue (the thread-count-aware term —
+ * more active cores means more shared-cache and DRAM contention, and
+ * the paper's synchronization epochs change the active count all the
+ * time). During fast-forward gaps the model *charges* actions of the
+ * same shape from the fitted means.
+ *
+ * Fitting is *era-based*: observations accumulate in a window; age()
+ * — called at each flip into fast-forward — promotes a window that
+ * met the observation threshold to the frozen era that charging draws
+ * from, and starts a new window. Each gap is therefore charged at the
+ * rates of the freshest detail window, so transient program phases
+ * (cold caches at startup, GC pressure, lock convoys) do not bleed
+ * into the whole run's means. A window too thin to qualify keeps
+ * accumulating across detail windows until it does, so rare shapes
+ * warm up instead of flapping.
+ *
+ * Charging is integer-only and drift-free: for every fitted quantity
+ * the model emits cumulative shares
+ *
+ *     emit_k = floor(chargedWeight_k * eraSum / eraWeight)
+ *              - emittedSoFar
+ *
+ * so after charging N actions the synthesized totals equal the era
+ * mean scaled by N to within one unit — no floating-point
+ * accumulation, no rounding drift, bit-identical at any worker count.
+ *
+ * The decomposition mirrors the paper's epoch model: per shape the
+ * observed elapsed time is split into its scaling (computeTime) and
+ * non-scaling (trueMemTime, CRIT / Leading-Loads / stall estimates,
+ * SQ-full time) components, so the fast-forwarded counters feed the
+ * predictors exactly like detailed ones.
+ */
+
+#ifndef DVFS_UARCH_FASTPATH_HH
+#define DVFS_UARCH_FASTPATH_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.hh"
+#include "uarch/perf_counters.hh"
+#include "uarch/work.hh"
+
+namespace dvfs::uarch {
+
+/** Fitting thresholds of the fast-path model. */
+struct FastPathConfig {
+    /** Cluster observations a lane needs before it may charge. */
+    std::uint32_t minClusterObs = 8;
+    /** Store-burst *lines* a lane needs before it may charge. */
+    std::uint32_t minBurstLines = 64;
+};
+
+/**
+ * The model. One instance per System; all state is per-run.
+ */
+class FastPathModel
+{
+  public:
+    FastPathModel(std::uint32_t cores, const FastPathConfig &cfg = {});
+
+    /// @name Observation (detail windows)
+    /// @{
+    void observeCluster(const MissClusterSpec &spec,
+                        std::uint32_t busyCores, Tick elapsed,
+                        const PerfCounters &delta);
+    void observeBurst(const StoreBurstSpec &spec, std::uint32_t busyCores,
+                      Tick elapsed, const PerfCounters &delta);
+
+    /**
+     * Promote qualifying observation windows to the charging era and
+     * open fresh windows. Call at each detail -> fast-forward flip.
+     */
+    void age();
+    /// @}
+
+    /// @name Charging (fast-forward gaps)
+    /// @{
+
+    /**
+     * Charge one miss cluster analytically. On success, @p elapsed is
+     * the synthesized duration and @p pc accumulates the synthesized
+     * counters (all fields the detailed path would touch).
+     *
+     * @return false if the model is too cold for this shape (the
+     *         caller falls back to detailed execution).
+     */
+    bool chargeCluster(const MissClusterSpec &spec,
+                       std::uint32_t busyCores, Tick &elapsed,
+                       PerfCounters &pc);
+
+    /** Charge one store burst analytically; see chargeCluster. */
+    bool chargeBurst(const StoreBurstSpec &spec, std::uint32_t busyCores,
+                     Tick &elapsed, PerfCounters &pc);
+    /// @}
+
+    /// @name Introspection (tests, diagnostics)
+    /// @{
+    std::size_t clusterShapes() const { return _clusters.size(); }
+    std::uint64_t observedClusters() const { return _observedClusters; }
+    std::uint64_t observedBurstLines() const { return _observedLines; }
+    /// @}
+
+  private:
+    /** Fitted per-cluster quantities (sums over observations). */
+    enum ClusterField {
+        CfElapsed,
+        CfCompute,
+        CfTrueMem,
+        CfCrit,
+        CfLeading,
+        CfStall,
+        CfL1,
+        CfL2,
+        CfL3,
+        CfDram,
+        CfCount_,
+    };
+
+    /** Fitted per-burst-line quantities. */
+    enum BurstField {
+        BfElapsed,
+        BfCompute,
+        BfTrueMem,
+        BfSqFull,
+        BfCount_,
+    };
+
+    /**
+     * One (shape, occupancy) accumulator: the accumulating fitting
+     * window, the frozen charging era, and the era's drift-free
+     * emission bookkeeping.
+     */
+    template <int N>
+    struct Lane {
+        std::uint64_t winWeight = 0;     ///< window observations (lines)
+        std::uint64_t winObs[N] = {};    ///< window sums
+        std::uint64_t eraWeight = 0;     ///< promoted-era weight
+        std::uint64_t eraObs[N] = {};    ///< promoted-era sums
+        std::uint64_t charged = 0;       ///< weight charged this era
+        std::uint64_t emitted[N] = {};   ///< sums emitted this era
+
+        /** Promote the window if it met @p minWeight. */
+        void
+        promote(std::uint64_t minWeight)
+        {
+            if (winWeight < minWeight)
+                return;
+            eraWeight = winWeight;
+            for (int i = 0; i < N; ++i) {
+                eraObs[i] = winObs[i];
+                winObs[i] = 0;
+                emitted[i] = 0;
+            }
+            winWeight = 0;
+            charged = 0;
+        }
+    };
+
+    struct ClusterShape {
+        std::uint32_t loads = 0;
+        std::uint64_t overlapInstructions = 0;
+        std::uint32_t shapeHint = 0;
+        /** Index 1..cores by busy-core count; [0] is the aggregate. */
+        std::vector<Lane<CfCount_>> lanes;
+    };
+
+    struct BurstShape {
+        std::uint32_t storesPerLine = 0;
+        std::vector<Lane<BfCount_>> lanes;
+    };
+
+    /** Cumulative-emission share of one fitted quantity. */
+    template <int N>
+    static std::uint64_t
+    emitShare(Lane<N> &lane, int field, std::uint64_t chargedWeight)
+    {
+        const auto entitled = static_cast<std::uint64_t>(
+            static_cast<unsigned __int128>(chargedWeight)
+            * lane.eraObs[field] / lane.eraWeight);
+        std::uint64_t out = entitled > lane.emitted[field]
+                                ? entitled - lane.emitted[field]
+                                : 0;
+        lane.emitted[field] += out;
+        return out;
+    }
+
+    ClusterShape &clusterShape(std::uint32_t loads,
+                               std::uint64_t overlap,
+                               std::uint32_t hint);
+    BurstShape &burstShape(std::uint32_t storesPerLine);
+
+    std::uint32_t _cores;
+    FastPathConfig _cfg;
+    std::vector<ClusterShape> _clusters;
+    std::vector<BurstShape> _bursts;
+    std::uint64_t _observedClusters = 0;
+    std::uint64_t _observedLines = 0;
+};
+
+} // namespace dvfs::uarch
+
+#endif // DVFS_UARCH_FASTPATH_HH

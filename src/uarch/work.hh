@@ -45,6 +45,40 @@ struct ComputeSpec {
 struct MissClusterSpec {
     std::vector<std::vector<std::uint64_t>> chains;
     std::uint64_t overlapInstructions = 0;
+
+    /**
+     * Opaque shape-classification key provided by the generator
+     * (e.g. the hot/warm/cold region mix of the chains). The core
+     * model ignores it; the fast-path model (fastpath.hh) uses it to
+     * separate clusters whose load counts match but whose latency
+     * distributions do not.
+     */
+    std::uint32_t shapeHint = 0;
+
+    /**
+     * Lite descriptor, produced instead of @c chains when a program is
+     * asked for a fast-forward action (ThreadContext::liteTiming): the
+     * generator performs the identical RNG draws but materialises no
+     * addresses. Lite specs can only be charged analytically, never
+     * executed by the detailed core model.
+     */
+    std::uint32_t liteChains = 0;
+    std::uint32_t liteChainDepth = 0;
+
+    /** True if this is an address-free lite descriptor. */
+    bool lite() const { return liteChains != 0; }
+
+    /** Total loads, for either representation. */
+    std::uint32_t
+    loadCount() const
+    {
+        if (lite())
+            return liteChains * liteChainDepth;
+        std::size_t n = 0;
+        for (const auto &c : chains)
+            n += c.size();
+        return static_cast<std::uint32_t>(n);
+    }
 };
 
 /**

@@ -24,6 +24,7 @@ WorkerProgram::makeCluster(os::ThreadContext &ctx) const
     uarch::MissClusterSpec spec;
     spec.overlapInstructions = p.clusterOverlapInstr;
 
+    std::uint32_t hot = 0, warm = 0, cold = 0;
     for (std::uint32_t c = 0; c < p.chains; ++c) {
         // A chain stays within one region: a pointer chase does not
         // hop between data structures of different temperature.
@@ -32,18 +33,39 @@ WorkerProgram::makeCluster(os::ThreadContext &ctx) const
         if (roll < p.pHot) {
             base = kHotBase + ctx.tid * kHotStride;
             span = p.hotBytes;
+            ++hot;
         } else if (roll < p.pHot + p.pWarm) {
             base = kWarmBase;
             span = p.warmBytes;
+            ++warm;
         } else {
             base = kColdBase;
             span = p.coldBytes;
+            ++cold;
+        }
+        if (ctx.liteTiming) {
+            // No address materialisation — and no per-hop draws: the
+            // fast path charges by shape, so only the per-chain
+            // region roll above affects anything downstream. The
+            // sampled trajectory is its own deterministic stream, not
+            // a draw-for-draw replay of the exact one, and skipping
+            // uniform draws leaves the workload statistics unchanged.
+            continue;
         }
         std::vector<std::uint64_t> chain;
         chain.reserve(p.chainDepth);
         for (std::uint32_t d = 0; d < p.chainDepth; ++d)
             chain.push_back(base + (ctx.rng.nextBounded(span) & ~63ULL));
         spec.chains.push_back(std::move(chain));
+    }
+    // The region mix keys the fast-path model's shape table: clusters
+    // with equal load counts but different temperatures must not share
+    // a latency distribution. Set in both modes so lite charges match
+    // full observations.
+    spec.shapeHint = hot | warm << 8 | cold << 16;
+    if (ctx.liteTiming) {
+        spec.liteChains = p.chains;
+        spec.liteChainDepth = p.chainDepth;
     }
     return spec;
 }

@@ -83,7 +83,7 @@ TEST(RunFixed, OutputIsCoherent)
 
 TEST(RunFixed, EnergyCanBeDisabled)
 {
-    exp::FixedRunOptions opts;
+    exp::RunOptions opts;
     opts.measureEnergy = false;
     auto out = exp::runFixed(wl::syntheticSmall(2, 20),
                              Frequency::ghz(1.0), opts);

@@ -29,7 +29,7 @@ const exp::FixedRunOutput &
 sampleRun()
 {
     static exp::FixedRunOutput out = [] {
-        exp::FixedRunOptions opts;
+        exp::RunOptions opts;
         opts.keepEvents = true;
         return exp::runFixed(wl::syntheticSmall(2, 40),
                              Frequency::ghz(1.0), opts);

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "pred/predictors.hh"
+#include "pred/registry.hh"
 
 using namespace dvfs;
 using namespace dvfs::pred;
@@ -248,7 +249,7 @@ TEST(Predictors, NamesAreDescriptive)
 
 TEST(Predictors, Figure3ZooHasSixEntries)
 {
-    auto zoo = makeFigure3Predictors();
+    auto zoo = PredictorRegistry::instance().figure3Set();
     ASSERT_EQ(zoo.size(), 6u);
     EXPECT_EQ(zoo[0]->name(), "M+CRIT");
     EXPECT_EQ(zoo[5]->name(), "DEP+BURST");
@@ -281,7 +282,7 @@ TEST_P(PredictorMonotone, SlowerTargetNeverFaster)
 
     Frequency lo = Frequency::mhz(GetParam());
     Frequency hi = Frequency::mhz(GetParam() + 500);
-    for (const auto &p : makeFigure3Predictors())
+    for (const auto &p : PredictorRegistry::instance().figure3Set())
         EXPECT_GE(p->predict(rec, lo), p->predict(rec, hi)) << p->name();
 }
 

@@ -4,8 +4,7 @@
  *
  * The registry's names appear in tables, JSONL records and CLI flags,
  * so their spelling and ordering are contract: figure3Set must match
- * the paper's column order (and the historical
- * makeFigure3Predictors), the estimator ladder must match the
+ * the paper's column order, the estimator ladder must match the
  * ablation's column order, and an unknown family must be a fatal user
  * error rather than a nullptr.
  */
@@ -79,11 +78,13 @@ TEST(PredictorRegistry, Figure3SetMatchesPaperOrder)
                          "M+CRIT", "M+CRIT+BURST", "COOP(CRIT)",
                          "COOP(CRIT+BURST)", "DEP", "DEP+BURST"}));
 
-    // The deprecated wrapper must return the same zoo.
-    auto legacy = pred::makeFigure3Predictors();
-    ASSERT_EQ(legacy.size(), zoo.size());
-    for (std::size_t i = 0; i < zoo.size(); ++i)
-        EXPECT_EQ(legacy[i]->name(), zoo[i]->name());
+    // A second materialisation returns the same zoo (fresh instances).
+    auto again = pred::PredictorRegistry::instance().figure3Set();
+    ASSERT_EQ(again.size(), zoo.size());
+    for (std::size_t i = 0; i < zoo.size(); ++i) {
+        EXPECT_EQ(again[i]->name(), zoo[i]->name());
+        EXPECT_NE(again[i].get(), zoo[i].get());
+    }
 }
 
 TEST(PredictorRegistry, EstimatorLadderMatchesAblationOrder)

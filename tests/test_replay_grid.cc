@@ -198,7 +198,7 @@ TEST(ReplayGrid, ReplayEngineOrdersCellsTargetMajor)
     EXPECT_EQ(cells[names.size()].error, 0.0);
 }
 
-TEST(ReplayGrid, RunOptionsSurfaceAndAliases)
+TEST(ReplayGrid, RunOptionsSurface)
 {
     auto params = wl::syntheticSmall(2, 40);
 
@@ -208,16 +208,15 @@ TEST(ReplayGrid, RunOptionsSurfaceAndAliases)
     opts.keepEvents = true;
     auto fixed = exp::runFixed(params, Frequency::ghz(2.0), opts);
     EXPECT_FALSE(fixed.record.events.empty());
+    EXPECT_EQ(fixed.mode, exp::SimMode::Exact);
+    EXPECT_EQ(fixed.sampling.ffWindows, 0u);
 
-    // Deprecated alias still compiles and behaves identically.
-    exp::FixedRunOptions legacy;
-    legacy.seed = 7;
-    legacy.keepEvents = true;
-    auto fixed2 = exp::runFixed(params, Frequency::ghz(2.0), legacy);
+    // Identical options replay bit-identically.
+    auto fixed2 = exp::runFixed(params, Frequency::ghz(2.0), opts);
     EXPECT_EQ(fixed.totalTime, fixed2.totalTime);
     EXPECT_EQ(fixed.record.events.size(), fixed2.record.events.size());
 
-    // Managed runs: RunOptions overload == deprecated seed overload.
+    // Managed runs: default options == explicit defaults.
     mgr::ManagerConfig mc;
     mc.tolerableSlowdown = 0.10;
     auto table = power::VfTable::haswell();
@@ -225,10 +224,9 @@ TEST(ReplayGrid, RunOptionsSurfaceAndAliases)
     exp::RunOptions mopts;
     mopts.seed = 42;
     auto managed = exp::runManaged(params, mc, table, mopts);
-    auto managed_legacy =
-        exp::runManaged(params, mc, table, std::uint64_t{42});
-    EXPECT_EQ(managed.totalTime, managed_legacy.totalTime);
-    EXPECT_EQ(managed.decisions.size(), managed_legacy.decisions.size());
+    auto managed_default = exp::runManaged(params, mc, table);
+    EXPECT_EQ(managed.totalTime, managed_default.totalTime);
+    EXPECT_EQ(managed.decisions.size(), managed_default.decisions.size());
 
     // measureEnergy=false must not change timing, only metering.
     exp::RunOptions noenergy;

@@ -1,0 +1,303 @@
+/**
+ * @file
+ * Sampled fast-path simulation: controller schedule, online model
+ * conservation, and end-to-end sampled runs (DESIGN.md section 11).
+ *
+ * The contracts under test:
+ *  - the SamplingController's window placement is a pure function of
+ *    its config (never of workload content),
+ *  - the FastPathModel's integer emission conserves observed sums
+ *    (emitted totals track observed means with zero long-run drift),
+ *  - a sampled run completes, covers only a fraction of simulated
+ *    time in detail, and reproduces bit-identically;
+ *  - gapWindow == 0 disables fast-forward entirely (exact behaviour).
+ */
+
+#include <gtest/gtest.h>
+
+#include "exp/experiment.hh"
+#include "exp/sweep/fingerprint.hh"
+#include "sim/event_queue.hh"
+#include "sim/sampling.hh"
+#include "uarch/fastpath.hh"
+#include "wl/suite.hh"
+
+using namespace dvfs;
+
+namespace {
+
+sim::SamplingConfig
+smallWindows()
+{
+    sim::SamplingConfig cfg;
+    cfg.startupDetail = 50 * kTicksPerUs;
+    cfg.detailWindow = 20 * kTicksPerUs;
+    cfg.gapWindow = 180 * kTicksPerUs;
+    return cfg;
+}
+
+} // namespace
+
+TEST(SamplingController, WindowScheduleIsPureFunctionOfConfig)
+{
+    sim::EventQueue eq;
+    sim::SamplingConfig cfg = smallWindows();
+    sim::SamplingController sc(eq, cfg);
+    EXPECT_EQ(sc.phase(), sim::SamplePhase::Detail);
+
+    sc.start();
+    // Startup detail window: [0, 50us), then alternating 180us/20us.
+    EXPECT_FALSE(sc.fastForward());
+    EXPECT_EQ(sc.phaseEnd(), cfg.startupDetail);
+
+    while (eq.now() < cfg.startupDetail)
+        ASSERT_TRUE(eq.runOne());
+    EXPECT_TRUE(sc.fastForward());
+    EXPECT_EQ(sc.phaseEnd(), cfg.startupDetail + cfg.gapWindow);
+
+    while (eq.now() < cfg.startupDetail + cfg.gapWindow)
+        ASSERT_TRUE(eq.runOne());
+    EXPECT_FALSE(sc.fastForward());
+    EXPECT_EQ(sc.phaseEnd(),
+              cfg.startupDetail + cfg.gapWindow + cfg.detailWindow);
+
+    const sim::SampleStats st = sc.finalStats();
+    EXPECT_EQ(st.detailWindows, 1u);
+    EXPECT_EQ(st.ffWindows, 1u);
+    EXPECT_EQ(st.detailTicks, cfg.startupDetail);
+    EXPECT_EQ(st.ffTicks, cfg.gapWindow);
+}
+
+TEST(SamplingController, ZeroGapNeverFastForwards)
+{
+    sim::EventQueue eq;
+    sim::SamplingConfig cfg;
+    cfg.gapWindow = 0;
+    sim::SamplingController sc(eq, cfg);
+    sc.start();
+    EXPECT_FALSE(sc.fastForward());
+    EXPECT_EQ(sc.phaseEnd(), kTickNever);
+    // No flip events were scheduled at all.
+    EXPECT_FALSE(eq.runOne());
+}
+
+TEST(SamplingController, FinalStatsIncludePartialPhase)
+{
+    sim::EventQueue eq;
+    sim::SamplingConfig cfg = smallWindows();
+    sim::SamplingController sc(eq, cfg);
+    sc.start();
+    // Advance half-way into the startup window without reaching it.
+    eq.schedule(cfg.startupDetail / 2, [] {});
+    ASSERT_TRUE(eq.runOne());
+    const sim::SampleStats st = sc.finalStats();
+    EXPECT_EQ(st.detailTicks, cfg.startupDetail / 2);
+    EXPECT_EQ(st.detailWindows, 0u);
+}
+
+TEST(FastPathModel, ColdModelRefusesToCharge)
+{
+    uarch::FastPathModel m(4);
+    uarch::MissClusterSpec lite;
+    lite.liteChains = 2;
+    lite.liteChainDepth = 8;
+    lite.overlapInstructions = 100;
+    Tick elapsed = 0;
+    uarch::PerfCounters pc;
+    EXPECT_FALSE(m.chargeCluster(lite, 2, elapsed, pc));
+
+    uarch::StoreBurstSpec burst;
+    burst.lines = 16;
+    EXPECT_FALSE(m.chargeBurst(burst, 2, elapsed, pc));
+
+    // Observations alone do not make the model chargeable: the window
+    // must be promoted by age() first.
+    uarch::MissClusterSpec full;
+    full.chains = {{1, 2, 3, 4}, {5, 6, 7, 8}, {9, 10, 11, 12},
+                   {13, 14, 15, 16}};
+    full.overlapInstructions = 100;
+    for (int i = 0; i < 16; ++i) {
+        uarch::PerfCounters d;
+        m.observeCluster(full, 2, 1000, d);
+    }
+    lite.liteChains = 4;
+    lite.liteChainDepth = 4;
+    EXPECT_FALSE(m.chargeCluster(lite, 2, elapsed, pc));
+    m.age();
+    EXPECT_TRUE(m.chargeCluster(lite, 2, elapsed, pc));
+}
+
+TEST(FastPathModel, EmissionConservesObservedMeans)
+{
+    uarch::FastPathConfig cfg;
+    cfg.minClusterObs = 4;
+    uarch::FastPathModel m(4, cfg);
+
+    // Observe a fixed shape with a deliberately awkward elapsed value
+    // so integer division must round somewhere.
+    uarch::MissClusterSpec spec;
+    spec.chains = {{1, 2, 3}, {4, 5}};
+    spec.overlapInstructions = 50;
+    const Tick obsElapsed = 1000003;
+    for (int i = 0; i < 4; ++i) {
+        uarch::PerfCounters d;
+        d.computeTime = 333335;
+        d.l3Hits = 5;
+        m.observeCluster(spec, 2, obsElapsed, d);
+    }
+    m.age();
+
+    uarch::MissClusterSpec lite;
+    lite.liteChains = 2;
+    lite.liteChainDepth = 0;
+    lite.overlapInstructions = 50;
+    // loadCount must match the observed shape (5 loads).
+    lite.liteChains = 5;
+    lite.liteChainDepth = 1;
+
+    Tick sumElapsed = 0;
+    std::uint64_t sumL3 = 0;
+    uarch::PerfCounters pc;
+    const int kCharges = 1000;
+    for (int i = 0; i < kCharges; ++i) {
+        Tick e = 0;
+        ASSERT_TRUE(m.chargeCluster(lite, 2, e, pc));
+        sumElapsed += e;
+        // Every charge is within one tick of the mean.
+        EXPECT_NEAR(static_cast<double>(e),
+                    static_cast<double>(obsElapsed), 1.0);
+    }
+    sumL3 = pc.l3Hits;
+
+    // Cumulative emission: totals equal the entitled share exactly
+    // (floor), so drift never accumulates.
+    const double meanElapsed =
+        static_cast<double>(sumElapsed) / kCharges;
+    EXPECT_NEAR(meanElapsed, static_cast<double>(obsElapsed), 0.01);
+    EXPECT_NEAR(static_cast<double>(sumL3) / kCharges, 5.0, 0.01);
+    EXPECT_EQ(pc.instructions, 50u * kCharges);
+    EXPECT_EQ(pc.missClusters, static_cast<std::uint64_t>(kCharges));
+}
+
+TEST(FastPathModel, OccupancyLanesAreSeparate)
+{
+    uarch::FastPathConfig cfg;
+    cfg.minClusterObs = 2;
+    uarch::FastPathModel m(4, cfg);
+
+    uarch::MissClusterSpec spec;
+    spec.chains = {{1, 2}};
+    // Same shape, very different latency at different occupancy.
+    for (int i = 0; i < 2; ++i) {
+        uarch::PerfCounters d;
+        m.observeCluster(spec, 1, 1000, d);
+        m.observeCluster(spec, 4, 9000, d);
+    }
+    m.age();
+
+    uarch::PerfCounters pc;
+    Tick e1 = 0, e4 = 0;
+    ASSERT_TRUE(m.chargeCluster(spec, 1, e1, pc));
+    ASSERT_TRUE(m.chargeCluster(spec, 4, e4, pc));
+    EXPECT_NEAR(static_cast<double>(e1), 1000.0, 1.0);
+    EXPECT_NEAR(static_cast<double>(e4), 9000.0, 1.0);
+}
+
+TEST(SampledRun, CompletesAndCoversFractionOfTime)
+{
+    exp::RunOptions opts;
+    opts.mode = exp::SimMode::Sampled;
+    opts.sampling.startupDetail = 10 * kTicksPerUs;
+    opts.sampling.detailWindow = 5 * kTicksPerUs;
+    opts.sampling.gapWindow = 45 * kTicksPerUs;
+    auto out = exp::runFixed(wl::syntheticSmall(2, 200),
+                             Frequency::ghz(2.0), opts);
+
+    EXPECT_EQ(out.mode, exp::SimMode::Sampled);
+    EXPECT_GT(out.totalTime, 0u);
+    EXPECT_GT(out.sampling.ffWindows, 0u);
+    EXPECT_GT(out.sampling.ffActions, 0u);
+    EXPECT_GT(out.sampling.ffCommits, 0u);
+    // Batching: many actions per commit event, or the mode is useless.
+    EXPECT_GT(out.sampling.ffActions, 4 * out.sampling.ffCommits);
+    // Most of simulated time was fast-forwarded.
+    EXPECT_LT(out.sampling.coverage(), 0.5);
+    // The observation surface stays well-formed.
+    EXPECT_FALSE(out.record.epochs.empty());
+    EXPECT_EQ(out.record.totalTime, out.totalTime);
+}
+
+TEST(SampledRun, SameSeedBitIdentical)
+{
+    exp::RunOptions opts;
+    opts.mode = exp::SimMode::Sampled;
+    opts.sampling.startupDetail = 10 * kTicksPerUs;
+    opts.sampling.detailWindow = 5 * kTicksPerUs;
+    opts.sampling.gapWindow = 45 * kTicksPerUs;
+    opts.seed = 7;
+    auto a = exp::runFixed(wl::syntheticSmall(2, 120),
+                           Frequency::ghz(2.0), opts);
+    auto b = exp::runFixed(wl::syntheticSmall(2, 120),
+                           Frequency::ghz(2.0), opts);
+    EXPECT_EQ(exp::sweep::fingerprintRun(a), exp::sweep::fingerprintRun(b));
+    EXPECT_GT(a.sampling.ffActions, 0u);
+    EXPECT_EQ(a.sampling.ffActions, b.sampling.ffActions);
+    EXPECT_EQ(a.sampling.ffFallbacks, b.sampling.ffFallbacks);
+}
+
+TEST(SampledRun, ZeroGapMatchesExactBitForBit)
+{
+    exp::RunOptions exact;
+    exact.seed = 11;
+    auto e = exp::runFixed(wl::syntheticSmall(2, 40),
+                           Frequency::ghz(2.0), exact);
+
+    exp::RunOptions sampled = exact;
+    sampled.mode = exp::SimMode::Sampled;
+    sampled.sampling.gapWindow = 0;
+    auto s = exp::runFixed(wl::syntheticSmall(2, 40),
+                           Frequency::ghz(2.0), sampled);
+
+    EXPECT_EQ(exp::sweep::fingerprintRun(e), exp::sweep::fingerprintRun(s));
+    EXPECT_EQ(s.sampling.ffActions, 0u);
+    EXPECT_EQ(s.sampling.ffWindows, 0u);
+}
+
+TEST(SampledRun, RunShorterThanStartupWindowMatchesExact)
+{
+    // A run that ends inside the startup detail window never
+    // fast-forwards, so it must equal the exact run bit for bit.
+    exp::RunOptions exact;
+    exact.seed = 3;
+    auto e = exp::runFixed(wl::syntheticSmall(1, 2),
+                           Frequency::ghz(2.0), exact);
+
+    exp::RunOptions sampled = exact;
+    sampled.mode = exp::SimMode::Sampled;
+    sampled.sampling.startupDetail = 100 * kTicksPerMs;
+    ASSERT_LT(e.totalTime, sampled.sampling.startupDetail);
+    auto s = exp::runFixed(wl::syntheticSmall(1, 2),
+                           Frequency::ghz(2.0), sampled);
+
+    EXPECT_EQ(exp::sweep::fingerprintRun(e), exp::sweep::fingerprintRun(s));
+    EXPECT_EQ(s.sampling.ffActions, 0u);
+}
+
+TEST(SampledRun, ManagedRunRejectsSampledMode)
+{
+    exp::RunOptions opts;
+    opts.mode = exp::SimMode::Sampled;
+    mgr::ManagerConfig mc;
+    auto table = power::VfTable::haswell();
+    EXPECT_DEATH(exp::runManaged(wl::syntheticSmall(1, 2), mc, table, opts),
+                 "requires SimMode::Exact");
+}
+
+TEST(SimMode, NamesRoundTrip)
+{
+    EXPECT_STREQ(exp::simModeName(exp::SimMode::Exact), "exact");
+    EXPECT_STREQ(exp::simModeName(exp::SimMode::Sampled), "sampled");
+    EXPECT_EQ(exp::parseSimMode("exact"), exp::SimMode::Exact);
+    EXPECT_EQ(exp::parseSimMode("sampled"), exp::SimMode::Sampled);
+    EXPECT_DEATH(exp::parseSimMode("fast"), "unknown simulation mode");
+}

@@ -77,7 +77,7 @@ TEST(SweepGolden, SerialReferenceMatchesDirectRuns)
     for (std::size_t w = 0; w < spec.workloads.size(); ++w) {
         for (std::size_t f = 0; f < spec.frequencies.size(); ++f) {
             for (std::size_t s = 0; s < spec.seeds.size(); ++s) {
-                exp::FixedRunOptions opts = spec.runOptions;
+                exp::RunOptions opts = spec.runOptions;
                 opts.seed = spec.seeds[s];
                 auto direct = exp::runFixed(spec.workloads[w],
                                             spec.frequencies[f], opts);

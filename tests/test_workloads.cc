@@ -95,7 +95,7 @@ TEST(Builder, IdenticalSeedsAreBitwiseDeterministic)
 TEST(Builder, DifferentSeedsChangeTiming)
 {
     auto params = syntheticSmall(4, 60);
-    exp::FixedRunOptions o1, o2;
+    exp::RunOptions o1, o2;
     o1.seed = 1;
     o2.seed = 2;
     auto a = exp::runFixed(params, Frequency::ghz(1.0), o1);
