@@ -146,7 +146,7 @@ sweepWorkers(const Args &args)
 inline exp::SimMode
 modeFromArgs(const Args &args)
 {
-    return exp::parseSimMode(args.get("mode", "exact"));
+    return exp::parseSimMode(args.get("mode", "exact"), "--mode");
 }
 
 /**
@@ -172,6 +172,16 @@ samplingFromArgs(const Args &args)
                         "gap-us",
                         static_cast<long>(cfg.gapWindow / kTicksPerUs))) *
                     kTicksPerUs;
+    // Adaptive placement: --max-gap-us caps the stretched gap (0 =
+    // fixed cadence), --drift-permille sets the steadiness threshold.
+    cfg.maxGapWindow =
+        static_cast<Tick>(args.getInt(
+            "max-gap-us",
+            static_cast<long>(cfg.maxGapWindow / kTicksPerUs))) *
+        kTicksPerUs;
+    cfg.driftThresholdPermille = static_cast<std::uint32_t>(args.getInt(
+        "drift-permille",
+        static_cast<long>(cfg.driftThresholdPermille)));
     return cfg;
 }
 

@@ -1,0 +1,258 @@
+/**
+ * @file
+ * Managed-sampled accuracy: speedup vs error under the energy manager.
+ *
+ * This is the repo's "Figure 10" extension: fig9 bounds the sampled
+ * fast path's error on fixed-frequency grids; this bench bounds it on
+ * *managed* runs, where the energy manager changes frequency mid-run
+ * and the fast-path model forks per operating point (DESIGN.md section
+ * 11.7). Each (benchmark x seed) cell runs under the manager in both
+ * modes through exp::sweep::compareManagedModes, plus fixed-at-highest
+ * baselines per mode, and the bench reports
+ *
+ *  - the managed-grid wall-clock speedup of sampled over exact,
+ *  - per-cell managed total-time error and (the headline) achieved-
+ *    slowdown error — how far the sampled S = T_managed/T_fixedHighest
+ *    lands from the exact one, computed within-mode so systematic time
+ *    bias cancels (the quantity fig6 reports),
+ *  - sampling provenance: DVFS transitions observed, forced detail
+ *    windows, and the adaptive gap-stretch histogram.
+ *
+ * Every measured configuration appends one dvfs-sweep-bench-v1 record
+ * (mode="sampled", grid="managed") to BENCH_sweep.json. Error metrics
+ * are deterministic — repeats reproduce them bit-for-bit; only wall
+ * times move — so CI gates hard on them.
+ *
+ * Usage: fig10_managed_sampling [--benchmarks=4] [--seeds=1]
+ *          [--startup-us=60] [--detail-us=30] [--gap-us=980]
+ *          [--max-gap-us=0] [--drift-permille=50]
+ *          [--workers=N] [--repeat=1] [--json=BENCH_sweep.json]
+ *          [--fail-err-pct=X] [--fail-speedup=X]
+ *          [--expect-managed-fingerprint=0x...]
+ *
+ * --fail-err-pct / --fail-speedup gate on mean |achieved-slowdown
+ * error| / managed-grid speedup; --expect-managed-fingerprint pins the
+ * sampled managed grid digest. --repeat measures N times, reports
+ * minimum walls, and fails if any repeat's digest (either mode)
+ * deviates.
+ */
+
+#include <cstdint>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_json.hh"
+#include "bench_util.hh"
+#include "exp/sweep/differential.hh"
+#include "exp/table.hh"
+
+using namespace dvfs;
+
+namespace {
+
+/** Gap-stretch histogram as a JSON array for the trajectory row. */
+std::string
+gapStretchJson(const sim::SampleStats &s)
+{
+    std::ostringstream os;
+    os << "[";
+    for (int i = 0; i < sim::SampleStats::kGapStretchBuckets; ++i)
+        os << (i ? "," : "") << s.gapStretch[i];
+    os << "]";
+    return os.str();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::Args args(argc, argv);
+    if (args.has("help")) {
+        std::cout <<
+            "fig10_managed_sampling: managed sampled-vs-exact error "
+            "bounds and speedup\n"
+            "  --benchmarks=N     workloads from the DaCapo suite "
+            "(default 4)\n"
+            "  --seeds=N          replicate seeds per workload "
+            "(default 1)\n"
+            "  --startup-us=N     initial detail period (default 60)\n"
+            "  --detail-us=N      periodic detail window (default 30)\n"
+            "  --gap-us=N         fast-forward gap length (default "
+            "980)\n"
+            "  --max-gap-us=N     adaptive gap stretch cap (default 0 "
+            "= fixed cadence)\n"
+            "  --drift-permille=N drift threshold for stretching "
+            "(default 50)\n"
+            "  --workers=N        sweep pool width (default: hardware "
+            "width)\n"
+            "  --repeat=N         repeats, min walls reported (default "
+            "1)\n"
+            "  --json=PATH        perf-trajectory JSONL file (default "
+            "BENCH_sweep.json)\n"
+            "  --fail-err-pct=X   fail if mean |achieved-slowdown err| "
+            "exceeds X percent\n"
+            "  --fail-speedup=X   fail if managed-grid speedup falls "
+            "below X\n"
+            "  --expect-managed-fingerprint=0x...  pin the sampled "
+            "managed digest\n";
+        return 0;
+    }
+
+    const auto n_bench =
+        static_cast<std::size_t>(args.getInt("benchmarks", 4));
+    const auto n_seeds = static_cast<std::size_t>(args.getInt("seeds", 1));
+    const std::string json_path = args.get("json", "BENCH_sweep.json");
+    const unsigned workers = bench::sweepWorkers(args);
+    const auto repeat =
+        static_cast<unsigned>(std::max(1L, args.getInt("repeat", 1)));
+    const double fail_err = args.getDouble("fail-err-pct", 0.0);
+    const double fail_speedup = args.getDouble("fail-speedup", 0.0);
+    const std::string expect_fp = args.get("expect-managed-fingerprint");
+
+    const sim::SamplingConfig cfg = bench::samplingFromArgs(args);
+
+    std::vector<wl::WorkloadParams> workloads;
+    for (const auto &params : wl::dacapoSuite()) {
+        if (workloads.size() >= n_bench)
+            break;
+        workloads.push_back(params);
+    }
+    const auto seeds = exp::sweep::SweepSpec::replicateSeeds(42, n_seeds);
+    const auto table_vf = power::VfTable::haswell();
+    const mgr::ManagerConfig mc;
+
+    std::cout << "fig10_managed_sampling: " << workloads.size()
+              << " benchmarks x " << seeds.size() << " seeds under the "
+              << "energy manager, detail="
+              << cfg.detailWindow / kTicksPerUs
+              << "us gap=" << cfg.gapWindow / kTicksPerUs
+              << "us max-gap=" << cfg.maxGapWindow / kTicksPerUs
+              << "us, workers=" << workers << ", repeat=" << repeat
+              << "\n\n";
+
+    exp::sweep::ManagedComparison best;
+    bool repeats_ok = true;
+    for (unsigned r = 0; r < repeat; ++r) {
+        auto cmp = exp::sweep::compareManagedModes(workloads, mc,
+                                                   table_vf, cfg, seeds,
+                                                   workers);
+        if (r == 0) {
+            best = std::move(cmp);
+            continue;
+        }
+        if (cmp.exactDigest != best.exactDigest ||
+            cmp.sampledDigest != best.sampledDigest) {
+            std::cerr << "fig10_managed_sampling: digest drift across "
+                         "repeats\n";
+            repeats_ok = false;
+        }
+        best.exactWallSec = std::min(best.exactWallSec, cmp.exactWallSec);
+        best.sampledWallSec =
+            std::min(best.sampledWallSec, cmp.sampledWallSec);
+    }
+
+    const double cov = best.sampleTotals.coverage() * 100.0;
+    exp::Table table({"cells", "cov %", "speedup", "time err %",
+                      "slowdown err %", "transitions", "forced"});
+    table.addRow(
+        {std::to_string(best.cells), exp::Table::fmt(cov, 1),
+         exp::Table::fmt(best.speedup(), 1),
+         exp::Table::fmt(best.meanAbsTimeErrPct, 2) + " / " +
+             exp::Table::fmt(best.maxAbsTimeErrPct, 2),
+         exp::Table::fmt(best.meanAbsSlowdownErrPct, 2) + " / " +
+             exp::Table::fmt(best.maxAbsSlowdownErrPct, 2),
+         std::to_string(best.transitions),
+         std::to_string(best.sampleTotals.forcedWindows)});
+    table.print(std::cout);
+
+    std::cout << "\ngap-stretch histogram (gaps entered at 1x,2x,...):"
+              << " " << gapStretchJson(best.sampleTotals) << "\n";
+
+    char fps[80];
+    std::snprintf(fps, sizeof(fps),
+                  "fingerprints: exact=0x%016llx sampled=0x%016llx\n",
+                  static_cast<unsigned long long>(best.exactDigest),
+                  static_cast<unsigned long long>(best.sampledDigest));
+    std::cout << fps;
+
+    bench::SweepJsonRecord rec(
+        "fig10_managed_sampling",
+        "gap=" + std::to_string(cfg.gapWindow / kTicksPerUs) +
+            "us max-gap=" +
+            std::to_string(cfg.maxGapWindow / kTicksPerUs) + "us");
+    rec.add("mode", "sampled")
+        .add("grid", "managed")
+        .add("workers", static_cast<std::uint64_t>(workers))
+        .add("cells", static_cast<std::uint64_t>(best.cells))
+        .add("repeat", static_cast<std::uint64_t>(repeat))
+        .add("startup_us",
+             static_cast<std::uint64_t>(cfg.startupDetail / kTicksPerUs))
+        .add("detail_us",
+             static_cast<std::uint64_t>(cfg.detailWindow / kTicksPerUs))
+        .add("gap_us",
+             static_cast<std::uint64_t>(cfg.gapWindow / kTicksPerUs))
+        .add("max_gap_us",
+             static_cast<std::uint64_t>(cfg.maxGapWindow / kTicksPerUs))
+        .add("drift_permille",
+             static_cast<std::uint64_t>(cfg.driftThresholdPermille))
+        .add("detail_coverage_pct", cov)
+        .add("exact_wall_ms", best.exactWallSec * 1000.0)
+        .add("sampled_wall_ms", best.sampledWallSec * 1000.0)
+        .add("cells_per_sec",
+             best.sampledWallSec > 0.0
+                 ? static_cast<double>(best.cells) / best.sampledWallSec
+                 : 0.0)
+        .add("speedup_vs_exact", best.speedup())
+        .add("mean_abs_time_err_pct", best.meanAbsTimeErrPct)
+        .add("max_abs_time_err_pct", best.maxAbsTimeErrPct)
+        .add("mean_abs_slowdown_err_pct", best.meanAbsSlowdownErrPct)
+        .add("max_abs_slowdown_err_pct", best.maxAbsSlowdownErrPct)
+        .add("slowdown_samples",
+             static_cast<std::uint64_t>(best.slowdownSamples))
+        .add("transitions", best.transitions)
+        .add("forced_detail_windows", best.sampleTotals.forcedWindows)
+        .add("ff_actions", best.sampleTotals.ffActions)
+        .add("detail_actions", best.sampleTotals.detailActions)
+        .add("ff_fallbacks", best.sampleTotals.ffFallbacks)
+        .addHex("exact_fingerprint", best.exactDigest)
+        .addHex("sampled_fingerprint", best.sampledDigest)
+        .addRaw("gap_stretch", gapStretchJson(best.sampleTotals));
+    rec.appendTo(json_path);
+    std::cout << "appended 1 record to " << json_path << "\n";
+
+    bool failed = !repeats_ok;
+    if (fail_err > 0.0 && best.meanAbsSlowdownErrPct > fail_err) {
+        std::cerr << "fig10_managed_sampling: mean |achieved-slowdown "
+                     "err| " << best.meanAbsSlowdownErrPct
+                  << "% exceeds the --fail-err-pct=" << fail_err
+                  << " bound\n";
+        failed = true;
+    }
+    if (fail_speedup > 0.0 && best.speedup() < fail_speedup) {
+        std::cerr << "fig10_managed_sampling: speedup " << best.speedup()
+                  << "x below the --fail-speedup=" << fail_speedup
+                  << " bound\n";
+        failed = true;
+    }
+    if (!expect_fp.empty()) {
+        const std::uint64_t want = std::stoull(expect_fp, nullptr, 16);
+        if (best.sampledDigest != want) {
+            std::cerr << "fig10_managed_sampling: sampled managed "
+                         "fingerprint "
+                      << std::hex << best.sampledDigest
+                      << " does not match expected " << want << std::dec
+                      << " — the managed sampled path drifted\n";
+            failed = true;
+        } else {
+            std::cout << "sampled managed fingerprint matches "
+                         "--expect-managed-fingerprint\n";
+        }
+    }
+    if (failed)
+        return 1;
+    std::cout << "all gates passed\n";
+    return 0;
+}

@@ -15,7 +15,18 @@
  *
  * Usage: fig6_energy_manager [--only=<name>] [--quantum-us=50]
  *                            [--thresholds=0.05,0.10]
+ *                            [--mode=exact|sampled]
+ *                            [--startup-us=60] [--detail-us=30]
+ *                            [--gap-us=980] [--max-gap-us=0]
+ *                            [--drift-permille=50]
  *                            [--workers=N] [--progress]
+ *
+ * --mode=sampled runs both the fixed baselines and the managed cells
+ * interval-sampled (the managed side forks the fast-path model per
+ * operating point and forces detail around DVFS transitions and GC
+ * boundaries); slowdown/savings are then within-mode ratios, so the
+ * sampled table tracks the exact one at a fraction of the cost
+ * (bench/fig10_managed_sampling measures the error bound).
  */
 
 #include <iostream>
@@ -47,6 +58,8 @@ main(int argc, char **argv)
     auto table_vf = power::VfTable::haswell();
     const unsigned workers = bench::sweepWorkers(args);
     const bool progress = args.has("progress");
+    const exp::SimMode mode = bench::modeFromArgs(args);
+    const sim::SamplingConfig sampling = bench::samplingFromArgs(args);
 
     // Fixed baselines: every benchmark at the highest operating point.
     exp::sweep::SweepSpec base_spec;
@@ -59,6 +72,8 @@ main(int argc, char **argv)
         return 1;
     }
     base_spec.frequencies = {table_vf.highest()};
+    base_spec.runOptions.mode = mode;
+    base_spec.runOptions.sampling = sampling;
 
     exp::sweep::SweepRunner::Options ro;
     ro.workers = workers;
@@ -76,8 +91,11 @@ main(int argc, char **argv)
             mc.quantum = quantum;
             mc.holdOff = 1;
             mc.tolerableSlowdown = thresholds[i % thresholds.size()];
+            exp::RunOptions opts;
+            opts.mode = mode;
+            opts.sampling = sampling;
             return exp::runManaged(wls[i / thresholds.size()], mc,
-                                   table_vf);
+                                   table_vf, opts);
         });
 
     std::cout << "Figure 6: energy manager (DEP+BURST, quantum "

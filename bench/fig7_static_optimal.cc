@@ -17,7 +17,15 @@
  * execute on the sweep engine.
  *
  * Usage: fig7_static_optimal [--threshold=0.10] [--step-mhz=250]
- *                            [--only=<name>] [--workers=N] [--progress]
+ *                            [--only=<name>] [--mode=exact|sampled]
+ *                            [--startup-us=60] [--detail-us=30]
+ *                            [--gap-us=980] [--max-gap-us=0]
+ *                            [--drift-permille=50]
+ *                            [--workers=N] [--progress]
+ *
+ * --mode=sampled runs the oracle grid and the managed cells
+ * interval-sampled; savings are within-mode energy ratios, so the
+ * comparison stays meaningful at ~an order of magnitude less cost.
  */
 
 #include <iostream>
@@ -43,6 +51,8 @@ main(int argc, char **argv)
 
     const unsigned workers = bench::sweepWorkers(args);
     const bool progress = args.has("progress");
+    const exp::SimMode mode = bench::modeFromArgs(args);
+    const sim::SamplingConfig sampling = bench::samplingFromArgs(args);
 
     // Oracle grid: every benchmark at every sweep operating point
     // (the highest doubles as the baseline).
@@ -57,6 +67,8 @@ main(int argc, char **argv)
     }
     for (const auto &p : sweep_vf.points())
         spec.frequencies.push_back(p.freq);
+    spec.runOptions.mode = mode;
+    spec.runOptions.sampling = sampling;
 
     exp::sweep::SweepRunner::Options ro;
     ro.workers = workers;
@@ -70,7 +82,10 @@ main(int argc, char **argv)
         wls.size(), workers, [&](std::size_t w) {
             mgr::ManagerConfig mc;
             mc.tolerableSlowdown = threshold;
-            return exp::runManaged(wls[w], mc, fine_vf);
+            exp::RunOptions opts;
+            opts.mode = mode;
+            opts.sampling = sampling;
+            return exp::runManaged(wls[w], mc, fine_vf, opts);
         });
 
     std::cout << "Figure 7: dynamic manager vs static-optimal oracle, "

@@ -16,9 +16,16 @@
  *
  * Usage: sweep_bench [--benchmarks=4] [--seeds=1] [--workers=N]
  *                    [--mode=exact|sampled] [--startup-us=60]
- *                    [--detail-us=30] [--gap-us=980]
+ *                    [--detail-us=30] [--gap-us=980] [--max-gap-us=0]
+ *                    [--drift-permille=50] [--managed]
  *                    [--repeat=N] [--json=BENCH_sweep.json] [--progress]
  *                    [--profile] [--expect-fingerprint=0x...]
+ *
+ * --managed swaps the fixed-frequency grid for an energy-manager-
+ * governed one (benchmarks x seeds, default manager config): the
+ * determinism self-check then covers managed cells — including
+ * sampled managed cells, whose per-operating-point model forking and
+ * forced detail windows must stay bit-identical at any worker count.
  *
  * --repeat=N measures each configuration N times and reports the
  * minimum wall time (noise floor on loaded machines); every repeat
@@ -50,6 +57,7 @@
 
 #include "bench_json.hh"
 #include "bench_util.hh"
+#include "exp/sweep/differential.hh"
 #include "exp/sweep/fingerprint.hh"
 #include "exp/sweep/sweep.hh"
 #include "exp/table.hh"
@@ -58,16 +66,6 @@
 using namespace dvfs;
 
 namespace {
-
-/** Combined digest: mix every cell's fingerprint in index order. */
-std::uint64_t
-gridDigest(const exp::sweep::SweepResult &res)
-{
-    exp::sweep::Fnv1a h;
-    for (const auto &cell : res.cells)
-        h.mix(exp::sweep::fingerprintRun(cell));
-    return h.digest();
-}
 
 struct Measurement {
     unsigned workers;
@@ -121,6 +119,47 @@ printProfile(const sim::prof::Snapshot &snap, unsigned workers)
     std::cout << "\n";
 }
 
+/** One managed grid measurement: (workload x seed) cells, by index. */
+Measurement
+measureManaged(const std::vector<wl::WorkloadParams> &workloads,
+               const std::vector<std::uint64_t> &seeds,
+               const power::VfTable &table_vf, const exp::RunOptions &opts,
+               unsigned workers, unsigned repeat, bool profiling)
+{
+    Measurement m;
+    m.workers = workers;
+    if (profiling)
+        sim::prof::reset();
+    const std::size_t n = workloads.size() * seeds.size();
+    for (unsigned r = 0; r < repeat; ++r) {
+        auto t0 = std::chrono::steady_clock::now();
+        auto cells = exp::sweep::sweepMap<exp::ManagedRunOutput>(
+            n, workers, [&](std::size_t i) {
+                mgr::ManagerConfig mc;
+                exp::RunOptions ro = opts;
+                ro.seed = seeds[i % seeds.size()];
+                return exp::runManaged(workloads[i / seeds.size()], mc,
+                                       table_vf, ro);
+            });
+        auto t1 = std::chrono::steady_clock::now();
+        double ms =
+            std::chrono::duration<double, std::milli>(t1 - t0).count();
+        std::uint64_t digest = exp::sweep::managedGridDigest(cells);
+
+        if (r == 0) {
+            m.wallMs = ms;
+            m.digest = digest;
+        } else {
+            m.wallMs = std::min(m.wallMs, ms);
+            if (digest != m.digest)
+                m.repeatsConsistent = false;
+        }
+    }
+    if (profiling)
+        m.profile = sim::prof::snapshot();
+    return m;
+}
+
 Measurement
 measure(const exp::sweep::SweepSpec &spec, unsigned workers,
         unsigned repeat, bool progress, bool profiling)
@@ -140,7 +179,7 @@ measure(const exp::sweep::SweepSpec &spec, unsigned workers,
         auto t1 = std::chrono::steady_clock::now();
         double ms =
             std::chrono::duration<double, std::milli>(t1 - t0).count();
-        std::uint64_t digest = gridDigest(res);
+        std::uint64_t digest = exp::sweep::gridDigest(res);
 
         if (r == 0) {
             m.wallMs = ms;
@@ -180,6 +219,12 @@ main(int argc, char **argv)
             "(default 30)\n"
             "  --gap-us=N            sampled: fast-forwarded gap "
             "(default 980)\n"
+            "  --max-gap-us=N        sampled: adaptive gap stretch cap "
+            "(default 0 = fixed cadence)\n"
+            "  --drift-permille=N    sampled: drift threshold for "
+            "stretching (default 50)\n"
+            "  --managed             energy-manager-governed grid "
+            "(benchmarks x seeds) instead of fixed frequencies\n"
             "  --repeat=N            repeats per configuration, min "
             "wall reported (default 1)\n"
             "  --json=PATH           perf-trajectory JSONL file "
@@ -208,6 +253,8 @@ main(int argc, char **argv)
     }
     const std::string expect_fp = args.get("expect-fingerprint");
     const exp::SimMode mode = bench::modeFromArgs(args);
+    const sim::SamplingConfig sampling = bench::samplingFromArgs(args);
+    const bool managed = args.has("managed");
 
     exp::sweep::SweepSpec spec;
     for (const auto &params : wl::dacapoSuite()) {
@@ -219,16 +266,28 @@ main(int argc, char **argv)
                         Frequency::ghz(3.0), Frequency::ghz(4.0)};
     spec.seeds = exp::sweep::SweepSpec::replicateSeeds(42, n_seeds);
     spec.runOptions.mode = mode;
-    spec.runOptions.sampling = bench::samplingFromArgs(args);
+    spec.runOptions.sampling = sampling;
 
-    const std::size_t cells = spec.cellCount();
+    const std::size_t cells = managed
+                                  ? spec.workloads.size() *
+                                        spec.seeds.size()
+                                  : spec.cellCount();
     const unsigned hw = bench::hardwareWidth();
 
-    std::cout << "sweep_bench: " << spec.workloads.size()
-              << " benchmarks x " << spec.frequencies.size()
-              << " frequencies x " << spec.seeds.size() << " seeds = "
-              << cells << " cells, " << hw << " hardware threads, "
-              << exp::simModeName(mode) << " mode\n\n";
+    if (managed) {
+        std::cout << "sweep_bench: " << spec.workloads.size()
+                  << " benchmarks x " << spec.seeds.size()
+                  << " seeds = " << cells
+                  << " managed cells (energy-manager governed), " << hw
+                  << " hardware threads, " << exp::simModeName(mode)
+                  << " mode\n\n";
+    } else {
+        std::cout << "sweep_bench: " << spec.workloads.size()
+                  << " benchmarks x " << spec.frequencies.size()
+                  << " frequencies x " << spec.seeds.size() << " seeds = "
+                  << cells << " cells, " << hw << " hardware threads, "
+                  << exp::simModeName(mode) << " mode\n\n";
+    }
 
     // Worker counts to measure: serial reference first, then powers
     // of two up to the hardware width. An explicit --workers /
@@ -244,9 +303,20 @@ main(int argc, char **argv)
             counts.end())
         counts.push_back(choice.requested);
 
+    exp::RunOptions managed_opts;
+    managed_opts.mode = mode;
+    managed_opts.sampling = sampling;
+    const auto table_vf = power::VfTable::haswell();
+
     std::vector<Measurement> runs;
-    for (unsigned w : counts)
-        runs.push_back(measure(spec, w, repeat, progress, profiling));
+    for (unsigned w : counts) {
+        runs.push_back(managed
+                           ? measureManaged(spec.workloads, spec.seeds,
+                                            table_vf, managed_opts, w,
+                                            repeat, profiling)
+                           : measure(spec, w, repeat, progress,
+                                     profiling));
+    }
     const Measurement &serial = runs.front();
 
     exp::Table table(
@@ -266,9 +336,12 @@ main(int argc, char **argv)
                       exp::Table::fmt(cells_s, 2),
                       exp::Table::fmt(serial.wallMs / m.wallMs, 2), fp});
 
-        bench::SweepJsonRecord rec("sweep_bench",
-                                   "workers=" + std::to_string(m.workers));
+        bench::SweepJsonRecord rec(
+            "sweep_bench",
+            std::string(managed ? "managed workers=" : "workers=") +
+                std::to_string(m.workers));
         rec.add("mode", exp::simModeName(mode))
+            .add("grid", managed ? "managed" : "fixed")
             .add("workers", static_cast<std::uint64_t>(m.workers))
             .add("requested_workers", static_cast<std::uint64_t>(m.workers))
             .add("effective_workers", static_cast<std::uint64_t>(m.workers))

@@ -7,18 +7,25 @@ the trace record/replay tools — against the last committed record for
 the same configuration (bench + run + cells, preferring rows from a
 machine with the same hardware_threads) and emits a GitHub Actions
 ::warning:: annotation when throughput dropped by more than the
-threshold. Always exits 0:
+threshold. Sampled rows carrying mean_abs_slowdown_err_pct also get an
+accuracy soft-gate: a warning fires when the error worsens by more
+than --err-threshold percentage points against the last committed
+same-config row. Always exits 0:
 wall-clock numbers on shared CI runners are noisy, so the guard
 annotates instead of failing; a real regression shows up as the
-warning persisting across commits.
+warning persisting across commits. (Accuracy is deterministic, but the
+hard bounds live in the fig9/fig10 gates — this guard watches the
+trajectory between those bounds.)
 
 When a step-summary file is available (--summary, defaulting to the
 GITHUB_STEP_SUMMARY env var), a per-configuration markdown delta table
-(last committed vs current cells/s and %) is appended to it.
+(last committed vs current cells/s and %, plus slowdown-error columns
+for rows that report one) is appended to it.
 
 Usage:
   perf_guard.py --fresh NEW.json [--baseline BENCH_sweep.json]
-                [--threshold 0.15] [--summary FILE]
+                [--threshold 0.15] [--err-threshold 1.5]
+                [--summary FILE]
 """
 
 import argparse
@@ -72,21 +79,28 @@ def latest_baseline(baseline, rec):
     return pool[-1] if pool else None
 
 
+def fmt_err(err):
+    return "—" if err is None else f"{err:.2f}"
+
+
 def write_summary(path, rows):
     """Append a markdown delta table to the CI step summary."""
     lines = [
         "### Sweep throughput vs last committed trajectory",
         "",
-        "| configuration | baseline cells/s | current cells/s | delta |",
-        "|---|---:|---:|---:|",
+        "| configuration | baseline cells/s | current cells/s | delta |"
+        " baseline err % | current err % |",
+        "|---|---:|---:|---:|---:|---:|",
     ]
-    for config, ref, now in rows:
+    for config, ref, now, ref_err, now_err in rows:
+        errs = f" {fmt_err(ref_err)} | {fmt_err(now_err)} |"
         if ref is None:
-            lines.append(f"| {config} | — | {now:.2f} | n/a |")
+            lines.append(f"| {config} | — | {now:.2f} | n/a |{errs}")
         else:
             delta = (now / ref - 1) * 100
             lines.append(
-                f"| {config} | {ref:.2f} | {now:.2f} | {delta:+.1f}% |")
+                f"| {config} | {ref:.2f} | {now:.2f} | {delta:+.1f}% |"
+                f"{errs}")
     lines.append("")
     try:
         with open(path, "a", encoding="utf-8") as fh:
@@ -105,6 +119,10 @@ def main():
     ap.add_argument("--threshold", type=float, default=0.15,
                     help="relative cells_per_sec drop that triggers a "
                          "warning (default 0.15)")
+    ap.add_argument("--err-threshold", type=float, default=1.5,
+                    help="absolute mean_abs_slowdown_err_pct worsening "
+                         "(percentage points) that triggers a warning "
+                         "(default 1.5)")
     ap.add_argument("--summary",
                     default=os.environ.get("GITHUB_STEP_SUMMARY"),
                     help="file to append the markdown delta table to "
@@ -123,18 +141,20 @@ def main():
     for rec in fresh:
         base = latest_baseline(baseline, rec)
         now = rec.get("cells_per_sec")
+        now_err = rec.get("mean_abs_slowdown_err_pct")
         config = f"{rec.get('bench')}/{rec.get('run')}"
         if not now:
             continue
         if base is None:
             print(f"perf_guard: {config}: no comparable baseline row, "
                   "skipping")
-            summary_rows.append((config, None, now))
+            summary_rows.append((config, None, now, None, now_err))
             continue
         ref = base.get("cells_per_sec")
         if not ref:
             continue
-        summary_rows.append((config, ref, now))
+        ref_err = base.get("mean_abs_slowdown_err_pct")
+        summary_rows.append((config, ref, now, ref_err, now_err))
         ratio = now / ref
         line = (f"{config}: {now:.2f} cells/s vs baseline {ref:.2f} "
                 f"({(ratio - 1) * 100:+.1f}%)")
@@ -144,6 +164,16 @@ def main():
             warned += 1
         else:
             print(f"perf_guard: {line}")
+        if now_err is not None and ref_err is not None:
+            err_line = (f"{config}: mean |slowdown err| {now_err:.2f}% "
+                        f"vs baseline {ref_err:.2f}% "
+                        f"({now_err - ref_err:+.2f} points)")
+            if now_err > ref_err + args.err_threshold:
+                print("::warning title=sampled accuracy regression::"
+                      f"{err_line}")
+                warned += 1
+            else:
+                print(f"perf_guard: {err_line}")
 
     if args.summary and summary_rows:
         write_summary(args.summary, summary_rows)

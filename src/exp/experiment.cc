@@ -1,5 +1,6 @@
 #include "exp/experiment.hh"
 
+#include <cctype>
 #include <cmath>
 #include <memory>
 
@@ -21,14 +22,18 @@ simModeName(SimMode m)
 }
 
 SimMode
-parseSimMode(const std::string &name)
+parseSimMode(const std::string &name, const std::string &flag)
 {
-    if (name == "exact")
+    std::string low = name;
+    for (char &c : low)
+        c = static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c)));
+    if (low == "exact")
         return SimMode::Exact;
-    if (name == "sampled")
+    if (low == "sampled")
         return SimMode::Sampled;
-    fatal("unknown simulation mode '%s' (expected exact|sampled)",
-          name.c_str());
+    fatal("%s: unknown simulation mode '%s' (expected exact|sampled)",
+          flag.c_str(), name.c_str());
 }
 
 FixedRunOutput
@@ -77,13 +82,17 @@ runManaged(const wl::WorkloadParams &params,
            const mgr::ManagerConfig &mgr_cfg, const power::VfTable &table,
            const RunOptions &opts)
 {
-    if (opts.mode != SimMode::Exact)
-        fatal("runManaged requires SimMode::Exact: the sampled fast path "
-              "fits its model at one frequency and the manager rescales "
-              "the clock mid-run");
     os::SystemConfig sys_cfg = wl::defaultSystemConfig(table.highest());
     sys_cfg.seed = opts.seed;
     wl::BenchInstance inst = wl::buildBenchmark(params, sys_cfg);
+    if (opts.mode == SimMode::Sampled) {
+        // The manager's decision epochs are always observed: GC
+        // boundaries force detail windows (DVFS transitions force
+        // them unconditionally inside System::setFrequency).
+        sim::SamplingConfig sc = opts.sampling;
+        sc.forceDetailAtGc = true;
+        inst.sys->enableSampling(sc);
+    }
 
     pred::RunRecorder rec(*inst.sys, opts.keepEvents);
     inst.sys->addListener(&rec);
@@ -108,6 +117,9 @@ runManaged(const wl::WorkloadParams &params,
     out.collections = inst.runtime->collections();
     out.averageGHz = inst.sys->coreDomain().averageGHz(0, res.totalTime);
     out.transitions = inst.sys->coreDomain().transitions();
+    out.mode = opts.mode;
+    if (const sim::SamplingController *sc = inst.sys->sampling())
+        out.sampling = sc->finalStats();
     return out;
 }
 

@@ -31,8 +31,13 @@ enum class SimMode {
 /** Printable name of a simulation mode ("exact"/"sampled"). */
 const char *simModeName(SimMode m);
 
-/** Parse a mode name; fatals on anything but "exact"/"sampled". */
-SimMode parseSimMode(const std::string &name);
+/**
+ * Parse a mode name, case-insensitively; fatals on anything but
+ * "exact"/"sampled", naming @p flag (the CLI flag the value came
+ * from) in the message.
+ */
+SimMode parseSimMode(const std::string &name,
+                     const std::string &flag = "--mode");
 
 /** Everything collected from one fixed-frequency ground-truth run. */
 struct FixedRunOutput {
@@ -65,7 +70,12 @@ struct RunOptions {
     bool measureEnergy = true;   ///< attach the energy meter
     std::uint64_t seed = 42;     ///< machine seed (workload determinism)
 
-    /** Fidelity. Sampled is fixed-frequency only (runFixed). */
+    /**
+     * Fidelity. Sampled applies to fixed and managed runs alike:
+     * runManaged forks the fast-path model per operating point and
+     * forces detail windows around DVFS transitions and GC
+     * boundaries (DESIGN.md section 11.7).
+     */
     SimMode mode = SimMode::Exact;
 
     /** Window placement when mode == Sampled; ignored otherwise. */
@@ -86,6 +96,16 @@ struct ManagedRunOutput {
     std::uint32_t collections = 0;
     double averageGHz = 0.0;
     std::uint64_t transitions = 0;
+
+    /**
+     * Mode the run executed under, and its sampling provenance
+     * (all-zero for exact runs). Both are fingerprint-neutral:
+     * fingerprintRun(ManagedRunOutput) digests only the observable
+     * outcome, so a gapWindow=0 sampled run fingerprints identically
+     * to an exact one.
+     */
+    SimMode mode = SimMode::Exact;
+    sim::SampleStats sampling;
 };
 
 /**

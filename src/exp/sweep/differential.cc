@@ -93,15 +93,7 @@ compareModes(const SweepSpec &spec, const sim::SamplingConfig &sampling,
         cmp.meanAbsTimeErrPct += std::fabs(err);
         cmp.maxAbsTimeErrPct = std::max(cmp.maxAbsTimeErrPct,
                                         std::fabs(err));
-        const sim::SampleStats &ss = sampled.cells[i].sampling;
-        cmp.sampleTotals.detailWindows += ss.detailWindows;
-        cmp.sampleTotals.ffWindows += ss.ffWindows;
-        cmp.sampleTotals.detailTicks += ss.detailTicks;
-        cmp.sampleTotals.ffTicks += ss.ffTicks;
-        cmp.sampleTotals.detailActions += ss.detailActions;
-        cmp.sampleTotals.ffActions += ss.ffActions;
-        cmp.sampleTotals.ffCommits += ss.ffCommits;
-        cmp.sampleTotals.ffFallbacks += ss.ffFallbacks;
+        cmp.sampleTotals.accumulate(sampled.cells[i].sampling);
     }
     if (n > 0)
         cmp.meanAbsTimeErrPct /= static_cast<double>(n);
@@ -181,6 +173,124 @@ compareModes(const SweepSpec &spec, const sim::SamplingConfig &sampling,
         }
         cmp.predictors.push_back(std::move(b));
     }
+    return cmp;
+}
+
+std::uint64_t
+managedGridDigest(const std::vector<ManagedRunOutput> &cells)
+{
+    Fnv1a h;
+    for (const auto &cell : cells)
+        h.mix(fingerprintRun(cell));
+    return h.digest();
+}
+
+namespace {
+
+/** One managed grid: (workload x seed) cells in flattened order. */
+std::vector<ManagedRunOutput>
+runManagedGrid(const std::vector<wl::WorkloadParams> &workloads,
+               const std::vector<std::uint64_t> &seeds,
+               const mgr::ManagerConfig &mgrCfg,
+               const power::VfTable &table, const RunOptions &opts,
+               unsigned workers, double &wallSec)
+{
+    const std::size_t n = workloads.size() * seeds.size();
+    const auto t0 = std::chrono::steady_clock::now();
+    auto cells = sweepMap<ManagedRunOutput>(
+        n, workers, [&](std::size_t i) {
+            RunOptions ro = opts;
+            ro.seed = seeds[i % seeds.size()];
+            return runManaged(workloads[i / seeds.size()], mgrCfg, table,
+                              ro);
+        });
+    const auto t1 = std::chrono::steady_clock::now();
+    wallSec = std::chrono::duration<double>(t1 - t0).count();
+    return cells;
+}
+
+/** Fixed-at-highest baselines for the same cells, one per (w, s). */
+std::vector<FixedRunOutput>
+runBaselineGrid(const std::vector<wl::WorkloadParams> &workloads,
+                const std::vector<std::uint64_t> &seeds,
+                const power::VfTable &table, const RunOptions &opts,
+                unsigned workers)
+{
+    const std::size_t n = workloads.size() * seeds.size();
+    return sweepMap<FixedRunOutput>(n, workers, [&](std::size_t i) {
+        RunOptions ro = opts;
+        ro.seed = seeds[i % seeds.size()];
+        return runFixed(workloads[i / seeds.size()], table.highest(), ro);
+    });
+}
+
+} // namespace
+
+ManagedComparison
+compareManagedModes(const std::vector<wl::WorkloadParams> &workloads,
+                    const mgr::ManagerConfig &mgrCfg,
+                    const power::VfTable &table,
+                    const sim::SamplingConfig &sampling,
+                    const std::vector<std::uint64_t> &seeds,
+                    unsigned workers, bool progress)
+{
+    if (workloads.empty() || seeds.empty())
+        fatal("compareManagedModes: empty workload or seed dimension");
+    (void)progress;
+
+    ManagedComparison cmp;
+    cmp.sampling = sampling;
+    cmp.cells = workloads.size() * seeds.size();
+
+    RunOptions exactOpts;
+    exactOpts.mode = SimMode::Exact;
+    RunOptions sampledOpts;
+    sampledOpts.mode = SimMode::Sampled;
+    sampledOpts.sampling = sampling;
+
+    auto exact = runManagedGrid(workloads, seeds, mgrCfg, table,
+                                exactOpts, workers, cmp.exactWallSec);
+    auto sampled = runManagedGrid(workloads, seeds, mgrCfg, table,
+                                  sampledOpts, workers,
+                                  cmp.sampledWallSec);
+    auto exactBase =
+        runBaselineGrid(workloads, seeds, table, exactOpts, workers);
+    auto sampledBase =
+        runBaselineGrid(workloads, seeds, table, sampledOpts, workers);
+
+    cmp.exactDigest = managedGridDigest(exact);
+    cmp.sampledDigest = managedGridDigest(sampled);
+
+    cmp.cellTimeErrPct.reserve(cmp.cells);
+    for (std::size_t i = 0; i < cmp.cells; ++i) {
+        const double et = static_cast<double>(exact[i].totalTime);
+        const double st = static_cast<double>(sampled[i].totalTime);
+        const double err = et > 0.0 ? (st - et) / et * 100.0 : 0.0;
+        cmp.cellTimeErrPct.push_back(err);
+        cmp.meanAbsTimeErrPct += std::fabs(err);
+        cmp.maxAbsTimeErrPct =
+            std::max(cmp.maxAbsTimeErrPct, std::fabs(err));
+
+        // Achieved slowdown, normalized within-mode so the sampled
+        // path's systematic time bias cancels (the same ratio trick
+        // compareModes uses).
+        const double exactS =
+            static_cast<double>(exact[i].totalTime) /
+            static_cast<double>(exactBase[i].totalTime);
+        const double sampledS =
+            static_cast<double>(sampled[i].totalTime) /
+            static_cast<double>(sampledBase[i].totalTime);
+        const double sErr = std::fabs(sampledS - exactS) / exactS * 100.0;
+        cmp.meanAbsSlowdownErrPct += sErr;
+        cmp.maxAbsSlowdownErrPct =
+            std::max(cmp.maxAbsSlowdownErrPct, sErr);
+        cmp.slowdownSamples += 1;
+
+        cmp.sampleTotals.accumulate(sampled[i].sampling);
+        cmp.transitions += sampled[i].transitions;
+    }
+    cmp.meanAbsTimeErrPct /= static_cast<double>(cmp.cells);
+    cmp.meanAbsSlowdownErrPct /= static_cast<double>(cmp.cells);
     return cmp;
 }
 

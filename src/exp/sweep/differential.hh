@@ -113,6 +113,72 @@ ModeComparison compareModes(const SweepSpec &spec,
                             const sim::SamplingConfig &sampling,
                             unsigned workers = 1, bool progress = false);
 
+/**
+ * Everything one exact-vs-sampled *managed* differential measured.
+ *
+ * The managed analogue of ModeComparison: each (workload, seed) cell
+ * runs under the energy manager in both modes, plus a fixed-at-highest
+ * baseline per mode so the headline error is on the *achieved
+ * slowdown* S = T_managed / T_fixedHighest computed within-mode —
+ * exactly the quantity fig6 reports, with systematic per-cell time
+ * bias cancelling in the ratio as it does for compareModes.
+ */
+struct ManagedComparison {
+    /** Window placement the sampled side ran with. */
+    sim::SamplingConfig sampling;
+
+    /** (workload, seed) cells per mode, flattened seed-innermost. */
+    std::size_t cells = 0;
+
+    /** Per-cell signed managed total-time error, percent. */
+    std::vector<double> cellTimeErrPct;
+    double meanAbsTimeErrPct = 0.0;
+    double maxAbsTimeErrPct = 0.0;
+
+    /** Achieved-slowdown error (the headline fidelity gate). */
+    double meanAbsSlowdownErrPct = 0.0;
+    double maxAbsSlowdownErrPct = 0.0;
+    std::size_t slowdownSamples = 0;
+
+    /** Managed grid digests (managedGridDigest over each mode). */
+    std::uint64_t exactDigest = 0;
+    std::uint64_t sampledDigest = 0;
+
+    /** Wall-clock seconds of each managed grid (baselines excluded). */
+    double exactWallSec = 0.0;
+    double sampledWallSec = 0.0;
+
+    /** Sampling stats summed over all sampled managed cells. */
+    sim::SampleStats sampleTotals;
+
+    /** DVFS transitions summed over the sampled managed cells. */
+    std::uint64_t transitions = 0;
+
+    /** Grid-level wall-clock speedup of sampled over exact managed. */
+    double
+    speedup() const
+    {
+        return sampledWallSec > 0.0 ? exactWallSec / sampledWallSec : 0.0;
+    }
+};
+
+/** FNV-1a digest over a managed grid, cell fingerprints in order. */
+std::uint64_t managedGridDigest(const std::vector<ManagedRunOutput> &cells);
+
+/**
+ * Run every (workload, seed) cell under the energy manager in both
+ * modes (plus fixed-at-highest baselines per mode) and measure the
+ * sampled side's error and speedup. @p sampling applies to the
+ * sampled side's managed cells and baseline alike.
+ */
+ManagedComparison
+compareManagedModes(const std::vector<wl::WorkloadParams> &workloads,
+                    const mgr::ManagerConfig &mgrCfg,
+                    const power::VfTable &table,
+                    const sim::SamplingConfig &sampling,
+                    const std::vector<std::uint64_t> &seeds = {42},
+                    unsigned workers = 1, bool progress = false);
+
 } // namespace dvfs::exp::sweep
 
 #endif // DVFS_EXP_SWEEP_DIFFERENTIAL_HH

@@ -126,6 +126,11 @@ System::recordPhaseEvent(SyncEventKind kind)
     DVFS_ASSERT(kind == SyncEventKind::GcBegin ||
                 kind == SyncEventKind::GcEnd,
                 "recordPhaseEvent takes only GC phase markers");
+    // Managed sampled runs observe every GC boundary in detail: the
+    // collector's behaviour is what the manager's COOP signal keys on,
+    // so it must never be synthesized from stale eras.
+    if (_sampler && _sampler->config().forceDetailAtGc)
+        _sampler->forceDetail();
     emit(kind, kNoThread, kNoSync);
 }
 
@@ -169,6 +174,7 @@ System::enableSampling(const sim::SamplingConfig &cfg)
         fatal("enableSampling called twice");
     _sampler = std::make_unique<sim::SamplingController>(_eq, cfg);
     _fastPath = std::make_unique<uarch::FastPathModel>(_cfg.cores);
+    _fastPath->setOperatingPoint(_coreDomain.frequency().toMHz());
     _mem->enableWarmOverlay();
     // Each gap charges at the freshest detail window's rates: promote
     // the model's fitting windows at every detail -> gap boundary.
@@ -176,6 +182,9 @@ System::enableSampling(const sim::SamplingConfig &cfg)
         if (p == sim::SamplePhase::FastForward)
             _fastPath->age();
     });
+    // Adaptive placement keys off the model's fitted-term drift.
+    _sampler->driftProbe(
+        [this] { return _fastPath->lastDriftPermille(); });
 }
 
 void
@@ -185,10 +194,6 @@ System::setFrequency(Frequency f)
         fatal("setFrequency: invalid frequency");
     if (f == _coreDomain.frequency())
         return;
-    if (_sampler)
-        fatal("setFrequency during a sampled run: the fast-path model "
-              "is fitted at a fixed frequency (use exact mode for "
-              "DVFS-transitioning runs)");
     Tick stall = _cfg.dvfsTransitionLatency;
     if (_faultPlan) {
         // The PCU may drop the request entirely, or take longer than
@@ -199,6 +204,17 @@ System::setFrequency(Frequency f)
             return;
         }
         stall += _faultPlan->dvfsExtraDelay(_eq.now());
+    }
+    if (_sampler) {
+        // The fitted eras are valid only at the frequency they were
+        // observed at: switch the model to the new operating point
+        // (warm-forking its eras from the old one on first visit) and
+        // force a detail window so the point refits from real
+        // execution. In-flight fast-forward lumps commit with the old
+        // timing, matching the "in-flight work completes" semantics
+        // of the transition stall below.
+        _fastPath->setOperatingPoint(f.toMHz());
+        _sampler->noteTransition();
     }
     // All in-flight work completes with the old timing; newly
     // dispatched work waits out the chip-wide transition stall.

@@ -156,9 +156,10 @@ class System
      * Enable interval-sampled execution: detail windows run the full
      * cycle-accurate path (and fit the fast-path model), gaps charge
      * timed actions analytically in batched lumps. Call before run().
-     * Sampled runs must stay at a fixed frequency (the fitted model
-     * stores wall-clock tick means valid only at the fitting
-     * frequency); setFrequency fatals while sampling is enabled.
+     * DVFS transitions are legal while sampling: setFrequency switches
+     * the fast-path model to the new operating point (forking its eras
+     * on first visit) and forces a detail window around the
+     * transition, so energy-manager-governed runs sample soundly.
      */
     void enableSampling(const sim::SamplingConfig &cfg);
     /// @}

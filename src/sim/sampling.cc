@@ -29,7 +29,7 @@ SamplingController::start()
     _phaseEnd = _eq.now() + _cfg.startupDetail;
     if (_cfg.startupDetail == 0)
         _phaseEnd = _eq.now() + _cfg.detailWindow;
-    _eq.schedule(_phaseEnd, [this] { flip(); });
+    _flipEvent = _eq.schedule(_phaseEnd, [this] { flip(); });
 }
 
 void
@@ -41,17 +41,91 @@ SamplingController::flip()
         _stats.detailWindows += 1;
         _stats.detailTicks += now - _phaseStart;
         _phase = SamplePhase::FastForward;
-        _phaseEnd = now + _cfg.gapWindow;
+        _phaseStart = now;
+        // The hook ages the model first so the drift probe consulted
+        // by enterGap() compares the era just promoted against its
+        // predecessor — the two freshest detail windows.
+        if (_onFlip)
+            _onFlip(_phase);
+        enterGap(now);
     } else {
         _stats.ffWindows += 1;
         _stats.ffTicks += now - _phaseStart;
-        _phase = SamplePhase::Detail;
-        _phaseEnd = now + _cfg.detailWindow;
+        enterDetail(now, _cfg.detailWindow);
+        if (_onFlip)
+            _onFlip(_phase);
     }
+}
+
+void
+SamplingController::enterGap(Tick now)
+{
+    Tick gap = _cfg.gapWindow;
+    if (_cfg.maxGapWindow > _cfg.gapWindow) {
+        // Deterministic adaptation: the stretch factor is a pure
+        // function of the drift sequence the run itself produced.
+        // Unknown drift (cold model, nothing promoted) never
+        // stretches.
+        const std::uint32_t drift = _driftProbe ? _driftProbe() : ~0u;
+        if (drift <= _cfg.driftThresholdPermille) {
+            const std::uint64_t cap =
+                1ull << (SampleStats::kGapStretchBuckets - 1);
+            if (_stretch < cap &&
+                _cfg.gapWindow * (_stretch * 2) <= _cfg.maxGapWindow)
+                _stretch *= 2;
+        } else {
+            _stretch = 1;
+        }
+        gap = _cfg.gapWindow * _stretch;
+    }
+    int bucket = 0;
+    for (std::uint64_t s = _stretch; s > 1; s >>= 1)
+        bucket += 1;
+    _stats.gapStretch[bucket] += 1;
+    _phaseEnd = now + gap;
+    _flipEvent = _eq.schedule(_phaseEnd, [this] { flip(); });
+}
+
+void
+SamplingController::enterDetail(Tick now, Tick len)
+{
+    _phase = SamplePhase::Detail;
     _phaseStart = now;
-    _eq.schedule(_phaseEnd, [this] { flip(); });
-    if (_onFlip)
-        _onFlip(_phase);
+    _phaseEnd = now + len;
+    _flipEvent = _eq.schedule(_phaseEnd, [this] { flip(); });
+}
+
+void
+SamplingController::forceDetail()
+{
+    if (!_started || _cfg.gapWindow == 0)
+        return;
+    const Tick now = _eq.now();
+    _stretch = 1;
+    if (_phase == SamplePhase::FastForward) {
+        // Cut the gap short: account it as a (possibly zero-length)
+        // completed gap and open a full detail window here. The
+        // pending flip is cancelled eagerly, so the schedule stays a
+        // single live boundary event at all times.
+        _stats.ffWindows += 1;
+        _stats.ffTicks += now - _phaseStart;
+        _stats.forcedWindows += 1;
+        _eq.cancel(_flipEvent);
+        enterDetail(now, _cfg.detailWindow);
+        if (_onFlip)
+            _onFlip(_phase);
+        return;
+    }
+    // Already detailed: only act when the remaining window is shorter
+    // than a full detailWindow (a forced window must fully observe
+    // what follows the forcing event).
+    const Tick end = now + _cfg.detailWindow;
+    if (end <= _phaseEnd)
+        return;
+    _stats.forcedWindows += 1;
+    _eq.cancel(_flipEvent);
+    _phaseEnd = end;
+    _flipEvent = _eq.schedule(_phaseEnd, [this] { flip(); });
 }
 
 SampleStats

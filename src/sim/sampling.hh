@@ -7,11 +7,26 @@
  * which timed actions are charged from an analytical model fitted
  * online during the detail windows (see uarch/fastpath.hh and the
  * batching executor in os/system.cc). The controller owns only the
- * phase schedule: window boundaries are fixed simulated-time marks
- * scheduled on the event queue, so the phase a given tick falls into
- * is a pure function of the sampling configuration — never of host
- * scheduling — and sampled runs are exactly as deterministic and
- * worker-count-independent as exact runs (DESIGN.md section 11).
+ * phase schedule: window boundaries are simulated-time marks scheduled
+ * on the event queue, so the phase a given tick falls into is a pure
+ * function of the sampling configuration and of the run's own observed
+ * integer state — never of host scheduling — and sampled runs are
+ * exactly as deterministic and worker-count-independent as exact runs
+ * (DESIGN.md section 11).
+ *
+ * Two refinements on top of the fixed cadence:
+ *
+ *  - *Forced detail*: forceDetail() cuts a fast-forward gap short (or
+ *    extends the current detail window) so that DVFS transitions and —
+ *    when forceDetailAtGc is set — GC boundaries are always observed
+ *    by the cycle-accurate path, never synthesized from stale eras.
+ *  - *Adaptive placement*: when maxGapWindow raises the cap above
+ *    gapWindow, each detail -> gap flip consults the model's fitted-
+ *    term drift (an integer permille, see FastPathModel::
+ *    lastDriftPermille) and doubles the upcoming gap while consecutive
+ *    windows agree, shrinking back to the base gap on drift, phase
+ *    change or any forced window — long gaps in steady phases, full
+ *    detail around transitions.
  */
 
 #ifndef DVFS_SIM_SAMPLING_HH
@@ -49,6 +64,30 @@ struct SamplingConfig {
      * error (see bench/fig9_sampling_accuracy.cc).
      */
     Tick gapWindow = 980 * kTicksPerUs;
+
+    /**
+     * Adaptive-placement gap cap. 0 (or anything <= gapWindow) keeps
+     * the gap fixed at gapWindow — the pre-adaptive schedule. When
+     * larger, gaps double from gapWindow up to this cap while the
+     * fitted model reports steady terms, and snap back to gapWindow
+     * on drift or a forced window.
+     */
+    Tick maxGapWindow = 0;
+
+    /**
+     * Fitted-term drift (permille, see FastPathModel::
+     * lastDriftPermille) at or below which consecutive detail windows
+     * count as "steady" for gap stretching.
+     */
+    std::uint32_t driftThresholdPermille = 50;
+
+    /**
+     * Force a detail window at every GC phase boundary (GcBegin /
+     * GcEnd). Managed runs set this so the collector activity the
+     * energy manager's COOP signal keys on is always observed; fixed
+     * sampled runs leave it off (their golden schedule predates it).
+     */
+    bool forceDetailAtGc = false;
 };
 
 /** Execution fidelity of the current instant. */
@@ -59,6 +98,9 @@ enum class SamplePhase {
 
 /** Accounting of one sampled run, reported with the run output. */
 struct SampleStats {
+    /** Buckets of the gap-stretch histogram (powers of two). */
+    static constexpr int kGapStretchBuckets = 8;
+
     std::uint64_t detailWindows = 0; ///< completed detail windows
     std::uint64_t ffWindows = 0;     ///< completed fast-forward gaps
     Tick detailTicks = 0;            ///< simulated time spent in detail
@@ -67,6 +109,14 @@ struct SampleStats {
     std::uint64_t ffActions = 0;     ///< timed actions charged analytically
     std::uint64_t ffCommits = 0;     ///< lump-commit events (batches)
     std::uint64_t ffFallbacks = 0;   ///< cold-model naive charges
+    std::uint64_t forcedWindows = 0; ///< forceDetail calls that acted
+    std::uint64_t transitions = 0;   ///< DVFS transitions observed
+
+    /**
+     * Gaps entered at stretch factor 2^k (bucket k). Bucket 0 counts
+     * base-length gaps; all gaps of a non-adaptive run land there.
+     */
+    std::uint64_t gapStretch[kGapStretchBuckets] = {};
 
     /** Fraction of simulated time spent in detail windows. */
     double
@@ -78,17 +128,35 @@ struct SampleStats {
                    : static_cast<double>(detailTicks)
                          / static_cast<double>(total);
     }
+
+    /** Fold @p other's counters into this (sweep aggregation). */
+    void
+    accumulate(const SampleStats &other)
+    {
+        detailWindows += other.detailWindows;
+        ffWindows += other.ffWindows;
+        detailTicks += other.detailTicks;
+        ffTicks += other.ffTicks;
+        detailActions += other.detailActions;
+        ffActions += other.ffActions;
+        ffCommits += other.ffCommits;
+        ffFallbacks += other.ffFallbacks;
+        forcedWindows += other.forcedWindows;
+        transitions += other.transitions;
+        for (int i = 0; i < kGapStretchBuckets; ++i)
+            gapStretch[i] += other.gapStretch[i];
+    }
 };
 
 /**
  * Drives detail <-> fast-forward transitions on the timing wheel.
  *
- * The schedule is purely time-based: [0, startupDetail) is detailed,
- * then gaps of gapWindow and detail windows of detailWindow alternate
- * forever. Phase-flip events are scheduled before any same-tick lump
- * commit (they are inserted when the previous phase begins), so an
- * action starting at a boundary tick is charged under the new phase's
- * rules.
+ * The schedule is time-based: [0, startupDetail) is detailed, then
+ * gaps and detail windows alternate, with gap lengths adapted from
+ * the model drift probe and cut short by forceDetail(). Phase-flip
+ * events are scheduled before any same-tick lump commit (they are
+ * inserted when the previous phase begins), so an action starting at
+ * a boundary tick is charged under the new phase's rules.
  */
 class SamplingController
 {
@@ -116,6 +184,28 @@ class SamplingController
     const SamplingConfig &config() const { return _cfg; }
 
     /**
+     * Force the cycle-accurate path around the current tick: a
+     * fast-forward gap is cut short (flipping to detail immediately),
+     * a running detail window is extended so at least a full
+     * detailWindow still lies ahead. Either way the adaptive stretch
+     * resets to the base gap. No-op when gapWindow == 0 (the run is
+     * already all-detail) or before start().
+     */
+    void forceDetail();
+
+    /**
+     * Record an observed DVFS transition and force a detail window
+     * around it (the fitted eras of the old operating point cannot
+     * charge the new one soundly).
+     */
+    void
+    noteTransition()
+    {
+        _stats.transitions += 1;
+        forceDetail();
+    }
+
+    /**
      * Hook invoked at every phase flip, after the phase changed, with
      * the phase just entered. The executor uses it to age the
      * analytical model at each detail -> fast-forward boundary.
@@ -124,6 +214,18 @@ class SamplingController
     onFlip(std::function<void(SamplePhase)> hook)
     {
         _onFlip = std::move(hook);
+    }
+
+    /**
+     * Probe consulted at each detail -> gap flip (after the onFlip
+     * hook aged the model) for the fitted-term drift in permille.
+     * Unset or absent data (see FastPathModel::kDriftUnknown) counts
+     * as drifting, so gaps only stretch on demonstrated steadiness.
+     */
+    void
+    driftProbe(std::function<std::uint32_t()> probe)
+    {
+        _driftProbe = std::move(probe);
     }
 
     /** Mutable counters, bumped by the executor. */
@@ -139,14 +241,23 @@ class SamplingController
     /** Boundary event: close the current phase, open the next. */
     void flip();
 
+    /** Enter a gap at the current tick: adapt its length, schedule. */
+    void enterGap(Tick now);
+
+    /** Enter a detail window of @p len at the current tick. */
+    void enterDetail(Tick now, Tick len);
+
     EventQueue &_eq;
     SamplingConfig _cfg;
     SamplePhase _phase = SamplePhase::Detail;
     Tick _phaseStart = 0;
     Tick _phaseEnd = kTickNever;
+    EventId _flipEvent = kNoEvent;
+    std::uint64_t _stretch = 1;
     bool _started = false;
     SampleStats _stats;
     std::function<void(SamplePhase)> _onFlip;
+    std::function<std::uint32_t()> _driftProbe;
 };
 
 } // namespace dvfs::sim

@@ -9,6 +9,9 @@ namespace dvfs::uarch {
 FastPathModel::FastPathModel(std::uint32_t cores, const FastPathConfig &cfg)
     : _cores(std::max<std::uint32_t>(1, cores)), _cfg(cfg)
 {
+    // One unlabeled point: fixed-frequency runs (and direct model
+    // tests) never call setOperatingPoint and live here throughout.
+    _points.emplace_back();
 }
 
 FastPathModel::ClusterShape &
@@ -18,7 +21,8 @@ FastPathModel::clusterShape(std::uint32_t loads, std::uint64_t overlap,
     // Linear scan: a workload produces a handful of shapes (one per
     // region-mix of its cluster recipe, plus the GC tracer's), so a
     // short vector beats any hash map here.
-    for (auto &s : _clusters) {
+    auto &clusters = _points[_cur].clusters;
+    for (auto &s : clusters) {
         if (s.loads == loads && s.overlapInstructions == overlap &&
             s.shapeHint == hint) {
             return s;
@@ -29,33 +33,135 @@ FastPathModel::clusterShape(std::uint32_t loads, std::uint64_t overlap,
     s.overlapInstructions = overlap;
     s.shapeHint = hint;
     s.lanes.resize(_cores + 1);
-    _clusters.push_back(std::move(s));
-    return _clusters.back();
+    clusters.push_back(std::move(s));
+    return clusters.back();
 }
 
 FastPathModel::BurstShape &
 FastPathModel::burstShape(std::uint32_t storesPerLine)
 {
-    for (auto &s : _bursts) {
+    auto &bursts = _points[_cur].bursts;
+    for (auto &s : bursts) {
         if (s.storesPerLine == storesPerLine)
             return s;
     }
     BurstShape s;
     s.storesPerLine = storesPerLine;
     s.lanes.resize(_cores + 1);
-    _bursts.push_back(std::move(s));
-    return _bursts.back();
+    bursts.push_back(std::move(s));
+    return bursts.back();
+}
+
+FastPathModel::PointState
+FastPathModel::forkPoint(const PointState &src, std::uint32_t newMhz)
+{
+    PointState dst;
+    dst.mhz = newMhz;
+    const std::uint32_t oldMhz = src.mhz;
+    dst.clusters.reserve(src.clusters.size());
+    for (const auto &s : src.clusters) {
+        ClusterShape c;
+        c.loads = s.loads;
+        c.overlapInstructions = s.overlapInstructions;
+        c.shapeHint = s.shapeHint;
+        c.lanes.resize(s.lanes.size());
+        for (std::size_t i = 0; i < s.lanes.size(); ++i)
+            c.lanes[i].fork(s.lanes[i], CfCompute, CfElapsed, oldMhz,
+                            newMhz);
+        dst.clusters.push_back(std::move(c));
+    }
+    dst.bursts.reserve(src.bursts.size());
+    for (const auto &s : src.bursts) {
+        BurstShape b;
+        b.storesPerLine = s.storesPerLine;
+        b.lanes.resize(s.lanes.size());
+        for (std::size_t i = 0; i < s.lanes.size(); ++i)
+            b.lanes[i].fork(s.lanes[i], BfCompute, BfElapsed, oldMhz,
+                            newMhz);
+        dst.bursts.push_back(std::move(b));
+    }
+    return dst;
+}
+
+void
+FastPathModel::setOperatingPoint(std::uint32_t mhz)
+{
+    DVFS_ASSERT(mhz != 0, "operating point must name a real frequency");
+    if (_points[_cur].mhz == mhz)
+        return;
+    for (std::size_t i = 0; i < _points.size(); ++i) {
+        if (_points[i].mhz == mhz) {
+            // Revisited frequency: resume its own fitted eras (the
+            // forced detail window around the transition refreshes
+            // them before the next gap charges).
+            _cur = i;
+            return;
+        }
+    }
+    PointState &cur = _points[_cur];
+    if (cur.mhz == 0 && cur.observations == 0) {
+        // First label of the construction-time point: nothing fitted
+        // yet, no fork to do.
+        cur.mhz = mhz;
+        return;
+    }
+    if (cur.mhz == 0) {
+        // Observations landed before the point was ever labeled (a
+        // directly driven model): the fitted ticks have no known
+        // frequency, so a fork cannot rescale them. Start cold.
+        _points.emplace_back();
+        _points.back().mhz = mhz;
+    } else {
+        _points.push_back(forkPoint(cur, mhz));
+    }
+    _cur = _points.size() - 1;
 }
 
 void
 FastPathModel::age()
 {
-    for (auto &s : _clusters)
+    PointState &pt = _points[_cur];
+    // Drift of the fitted terms: the worst aggregate-lane elapsed-mean
+    // movement across the shapes about to promote over a live era.
+    // Computed before promote() overwrites the old era; integer-only.
+    std::uint32_t drift = kDriftUnknown;
+    auto note = [&drift](std::uint64_t oldW, std::uint64_t oldSum,
+                         std::uint64_t newW, std::uint64_t newSum) {
+        if (oldW == 0 || newW == 0)
+            return;
+        const unsigned __int128 oldMean =
+            (static_cast<unsigned __int128>(oldSum) << 20) / oldW;
+        const unsigned __int128 newMean =
+            (static_cast<unsigned __int128>(newSum) << 20) / newW;
+        if (oldMean == 0)
+            return;
+        const unsigned __int128 diff =
+            oldMean > newMean ? oldMean - newMean : newMean - oldMean;
+        const unsigned __int128 permille = diff * 1000 / oldMean;
+        const std::uint32_t p =
+            permille > kDriftUnknown - 1
+                ? kDriftUnknown - 1
+                : static_cast<std::uint32_t>(permille);
+        if (drift == kDriftUnknown || p > drift)
+            drift = p;
+    };
+    for (auto &s : pt.clusters) {
+        Lane<CfCount_> &agg = s.lanes[0];
+        if (agg.winWeight >= _cfg.minClusterObs && agg.eraWeight > 0)
+            note(agg.eraWeight, agg.eraObs[CfElapsed], agg.winWeight,
+                 agg.winObs[CfElapsed]);
         for (auto &l : s.lanes)
             l.promote(_cfg.minClusterObs);
-    for (auto &s : _bursts)
+    }
+    for (auto &s : pt.bursts) {
+        Lane<BfCount_> &agg = s.lanes[0];
+        if (agg.winWeight >= _cfg.minBurstLines && agg.eraWeight > 0)
+            note(agg.eraWeight, agg.eraObs[BfElapsed], agg.winWeight,
+                 agg.winObs[BfElapsed]);
         for (auto &l : s.lanes)
             l.promote(_cfg.minBurstLines);
+    }
+    _lastDrift = drift;
 }
 
 void
@@ -82,6 +188,7 @@ FastPathModel::observeCluster(const MissClusterSpec &spec,
         l.winObs[CfL3] += delta.l3Hits;
         l.winObs[CfDram] += delta.dramLoads;
     }
+    _points[_cur].observations += 1;
     _observedClusters += 1;
 }
 
@@ -102,6 +209,7 @@ FastPathModel::observeBurst(const StoreBurstSpec &spec,
         l.winObs[BfTrueMem] += delta.trueMemTime;
         l.winObs[BfSqFull] += delta.sqFullTime;
     }
+    _points[_cur].observations += spec.lines;
     _observedLines += spec.lines;
 }
 
@@ -112,7 +220,7 @@ FastPathModel::chargeCluster(const MissClusterSpec &spec,
 {
     ClusterShape *s = nullptr;
     const std::uint32_t loads = spec.loadCount();
-    for (auto &cand : _clusters) {
+    for (auto &cand : _points[_cur].clusters) {
         if (cand.loads == loads &&
             cand.overlapInstructions == spec.overlapInstructions &&
             cand.shapeHint == spec.shapeHint) {
@@ -160,7 +268,7 @@ FastPathModel::chargeBurst(const StoreBurstSpec &spec,
         return true;
     }
     BurstShape *s = nullptr;
-    for (auto &cand : _bursts) {
+    for (auto &cand : _points[_cur].bursts) {
         if (cand.storesPerLine == spec.storesPerLine) {
             s = &cand;
             break;

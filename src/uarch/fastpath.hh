@@ -21,6 +21,20 @@
  * accumulating across detail windows until it does, so rare shapes
  * warm up instead of flapping.
  *
+ * All fitted state is additionally keyed by the *operating point* (the
+ * core frequency the observations were taken at): tick means fitted at
+ * one frequency are wrong at another, so an energy-manager DVFS
+ * transition switches the model to the new point's era set via
+ * setOperatingPoint(). A point visited for the first time is
+ * warm-started by *forking* the previous point's charging eras with
+ * the scaling/non-scaling split the paper's model rests on: the
+ * computeTime share rescales by f_old/f_new (integer math), the memory
+ * and synchronization shares carry over unchanged, and the forked eras
+ * serve charges until the forced detail window around the transition
+ * refits the point from real execution. Fixed-frequency runs only ever
+ * touch one point, so their behaviour (and golden fingerprints) are
+ * untouched by the keying.
+ *
  * Charging is integer-only and drift-free: for every fitted quantity
  * the model emits cumulative shares
  *
@@ -66,6 +80,26 @@ class FastPathModel
   public:
     FastPathModel(std::uint32_t cores, const FastPathConfig &cfg = {});
 
+    /// @name Operating points (DVFS-aware charging)
+    /// @{
+
+    /**
+     * Switch the model to the era set of the operating point @p mhz
+     * (the chip's new core frequency). A revisited point resumes its
+     * own fitted eras; a new point is warm-started by forking the
+     * previous point's eras with the compute share rescaled by
+     * f_old/f_new. Call at every DVFS transition (and once before the
+     * run to label the initial point).
+     */
+    void setOperatingPoint(std::uint32_t mhz);
+
+    /** Operating point currently charged/observed, in MHz. */
+    std::uint32_t operatingPoint() const { return _points[_cur].mhz; }
+
+    /** Number of operating points the model has era sets for. */
+    std::size_t operatingPoints() const { return _points.size(); }
+    /// @}
+
     /// @name Observation (detail windows)
     /// @{
     void observeCluster(const MissClusterSpec &spec,
@@ -101,9 +135,30 @@ class FastPathModel
                      Tick &elapsed, PerfCounters &pc);
     /// @}
 
+    /// @name Drift (adaptive window placement)
+    /// @{
+
+    /** lastDriftPermille() when age() had nothing comparable. */
+    static constexpr std::uint32_t kDriftUnknown = ~0u;
+
+    /**
+     * Relative movement of the fitted terms at the most recent age():
+     * the worst per-shape change of the aggregate-lane elapsed mean
+     * between the era just promoted and the era it replaced, in
+     * permille. kDriftUnknown when no shape promoted over a previous
+     * era (cold model, thin window) — callers must treat that as "not
+     * demonstrably steady". Pure integer arithmetic over observed
+     * sums, so it is deterministic and worker-count-independent.
+     */
+    std::uint32_t lastDriftPermille() const { return _lastDrift; }
+    /// @}
+
     /// @name Introspection (tests, diagnostics)
     /// @{
-    std::size_t clusterShapes() const { return _clusters.size(); }
+    std::size_t clusterShapes() const
+    {
+        return _points[_cur].clusters.size();
+    }
     std::uint64_t observedClusters() const { return _observedClusters; }
     std::uint64_t observedBurstLines() const { return _observedLines; }
     /// @}
@@ -162,6 +217,32 @@ class FastPathModel
             winWeight = 0;
             charged = 0;
         }
+
+        /**
+         * Warm-start this lane from @p src fitted at @p oldMhz: the
+         * era's compute share rescales to @p newMhz, the non-scaling
+         * shares carry over, the in-progress window and the emission
+         * bookkeeping start empty.
+         */
+        void
+        fork(const Lane &src, int computeField, int elapsedField,
+             std::uint32_t oldMhz, std::uint32_t newMhz)
+        {
+            if (src.eraWeight == 0)
+                return;
+            eraWeight = src.eraWeight;
+            for (int i = 0; i < N; ++i)
+                eraObs[i] = src.eraObs[i];
+            const std::uint64_t oldCompute = src.eraObs[computeField];
+            const auto newCompute = static_cast<std::uint64_t>(
+                static_cast<unsigned __int128>(oldCompute) * oldMhz
+                / newMhz);
+            const std::uint64_t elapsed = src.eraObs[elapsedField];
+            const std::uint64_t nonScaling =
+                elapsed > oldCompute ? elapsed - oldCompute : 0;
+            eraObs[computeField] = newCompute;
+            eraObs[elapsedField] = nonScaling + newCompute;
+        }
     };
 
     struct ClusterShape {
@@ -175,6 +256,18 @@ class FastPathModel
     struct BurstShape {
         std::uint32_t storesPerLine = 0;
         std::vector<Lane<BfCount_>> lanes;
+    };
+
+    /**
+     * One operating point's complete era set. The model observes and
+     * charges only through the current point; other points keep their
+     * fitted state for when the manager revisits their frequency.
+     */
+    struct PointState {
+        std::uint32_t mhz = 0;  ///< 0 until the first setOperatingPoint
+        std::vector<ClusterShape> clusters;
+        std::vector<BurstShape> bursts;
+        std::uint64_t observations = 0;  ///< total obs landed here
     };
 
     /** Cumulative-emission share of one fitted quantity. */
@@ -197,10 +290,14 @@ class FastPathModel
                                std::uint32_t hint);
     BurstShape &burstShape(std::uint32_t storesPerLine);
 
+    /** Fork every era of @p src into a new point at @p newMhz. */
+    PointState forkPoint(const PointState &src, std::uint32_t newMhz);
+
     std::uint32_t _cores;
     FastPathConfig _cfg;
-    std::vector<ClusterShape> _clusters;
-    std::vector<BurstShape> _bursts;
+    std::vector<PointState> _points;
+    std::size_t _cur = 0;
+    std::uint32_t _lastDrift = kDriftUnknown;
     std::uint64_t _observedClusters = 0;
     std::uint64_t _observedLines = 0;
 };

@@ -174,6 +174,114 @@ TEST(SampledDifferential, ZeroGapCollapsesTheDifferential)
     EXPECT_EQ(cmp.sampleTotals.ffActions, 0u);
 }
 
+namespace {
+
+/** The fig10 managed-sampling recipe (see bench/fig10_managed_sampling
+ *  and the CI sampled-accuracy job): adaptive placement over the
+ *  default manager config. */
+sim::SamplingConfig
+managedRecipe()
+{
+    sim::SamplingConfig cfg;
+    cfg.detailWindow = 10 * kTicksPerUs;
+    cfg.gapWindow = 980 * kTicksPerUs;
+    cfg.maxGapWindow = 7840 * kTicksPerUs;
+    cfg.driftThresholdPermille = 200;
+    return cfg;
+}
+
+std::uint64_t
+managedSampledDigest(unsigned workers)
+{
+    std::vector<wl::WorkloadParams> wls;
+    for (const auto &params : wl::dacapoSuite()) {
+        if (wls.size() >= 4)
+            break;
+        wls.push_back(params);
+    }
+    const auto seeds = exp::sweep::SweepSpec::replicateSeeds(42, 1);
+    auto cells = exp::sweep::sweepMap<exp::ManagedRunOutput>(
+        wls.size(), workers, [&](std::size_t i) {
+            mgr::ManagerConfig mc;
+            exp::RunOptions ro;
+            ro.mode = exp::SimMode::Sampled;
+            ro.sampling = managedRecipe();
+            ro.seed = seeds[0];
+            return exp::runManaged(wls[i], mc, power::VfTable::haswell(),
+                                   ro);
+        });
+    return exp::sweep::managedGridDigest(cells);
+}
+
+} // namespace
+
+/**
+ * The sampled *managed* fingerprint, pinned. Trips on any drift in the
+ * managed fast path — per-operating-point era forking, forced detail
+ * windows around DVFS transitions and GC boundaries, adaptive gap
+ * stretching — at every worker count the acceptance gate names. The
+ * grid and sampling config mirror the CI fig10_managed_sampling
+ * invocation, which pins the same digest end to end.
+ */
+TEST(SampledSweepGolden, ManagedGridFingerprintPinnedAcrossWorkers)
+{
+    constexpr std::uint64_t kManagedSampledGolden = 0x71702eac03704a14ULL;
+    for (unsigned workers : {1u, 2u, 8u})
+        EXPECT_EQ(managedSampledDigest(workers), kManagedSampledGolden)
+            << "workers=" << workers;
+}
+
+TEST(ManagedDifferential, ErrorBoundsAreDeterministicAndObserved)
+{
+    std::vector<wl::WorkloadParams> wls = {wl::syntheticSmall(2, 120),
+                                           wl::syntheticSmall(4, 80)};
+    mgr::ManagerConfig mc;
+    auto table = power::VfTable::haswell();
+    auto seeds = exp::sweep::SweepSpec::replicateSeeds(42, 2);
+
+    auto cmp = exp::sweep::compareManagedModes(wls, mc, table,
+                                               tinyWindows(), seeds, 2);
+    EXPECT_EQ(cmp.cells, 4u);
+    EXPECT_EQ(cmp.cellTimeErrPct.size(), 4u);
+    EXPECT_EQ(cmp.slowdownSamples, 4u);
+    EXPECT_GT(cmp.sampleTotals.ffActions, 0u);
+    EXPECT_GE(cmp.maxAbsTimeErrPct, cmp.meanAbsTimeErrPct);
+    EXPECT_GE(cmp.maxAbsSlowdownErrPct, cmp.meanAbsSlowdownErrPct);
+    // The sampled side observed the manager: transitions were noted
+    // and each one (plus every GC boundary) forced a detail window.
+    EXPECT_EQ(cmp.sampleTotals.transitions, cmp.transitions);
+    if (cmp.transitions > 0)
+        EXPECT_GT(cmp.sampleTotals.forcedWindows, 0u);
+
+    // Pure function of (workloads, config, seeds): digests and error
+    // metrics reproduce at any worker count; only wall clocks move.
+    auto again = exp::sweep::compareManagedModes(wls, mc, table,
+                                                 tinyWindows(), seeds, 1);
+    EXPECT_EQ(again.exactDigest, cmp.exactDigest);
+    EXPECT_EQ(again.sampledDigest, cmp.sampledDigest);
+    EXPECT_DOUBLE_EQ(again.meanAbsSlowdownErrPct,
+                     cmp.meanAbsSlowdownErrPct);
+    EXPECT_DOUBLE_EQ(again.maxAbsTimeErrPct, cmp.maxAbsTimeErrPct);
+}
+
+TEST(ManagedDifferential, ZeroGapCollapsesTheDifferential)
+{
+    std::vector<wl::WorkloadParams> wls = {wl::syntheticSmall(2, 60)};
+    mgr::ManagerConfig mc;
+    auto table = power::VfTable::haswell();
+
+    sim::SamplingConfig cfg;
+    cfg.gapWindow = 0;
+    auto cmp = exp::sweep::compareManagedModes(wls, mc, table, cfg);
+
+    EXPECT_EQ(cmp.sampledDigest, cmp.exactDigest);
+    EXPECT_EQ(cmp.meanAbsTimeErrPct, 0.0);
+    EXPECT_EQ(cmp.maxAbsTimeErrPct, 0.0);
+    EXPECT_EQ(cmp.maxAbsSlowdownErrPct, 0.0);
+    EXPECT_EQ(cmp.sampleTotals.ffActions, 0u);
+    EXPECT_EQ(cmp.sampleTotals.forcedWindows, 0u);
+}
+
 TEST(SampledDifferential, GcInsideGapKeepsObservationsWellFormed)
 {
     // A real benchmark whose collections overwhelmingly start and end
