@@ -1,6 +1,17 @@
 /**
  * @file
  * Shared helpers for the experiment harness binaries.
+ *
+ * FlagSet is the one CLI parser every harness uses: flags are declared
+ * once (key, value hint, help line), --help output is generated from
+ * the declarations, an unknown flag is fatal() naming the flag, and a
+ * malformed value is fatal() naming the flag it was passed to. The
+ * canned addWorkers()/addMode()/addSampling()/addRepeat()/addJson()
+ * declarations keep the flags every harness shares spelled — and
+ * documented — identically across binaries.
+ *
+ * The worker/mode/sampling helpers are templates over any args-like
+ * type (FlagSet or the legacy Args) exposing get/has/getInt.
  */
 
 #ifndef DVFS_BENCH_BENCH_UTIL_HH
@@ -8,12 +19,14 @@
 
 #include <cstdlib>
 #include <cstring>
+#include <iostream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "exp/sweep/pool.hh"
 #include "exp/sweep/sweep.hh"
+#include "sim/log.hh"
 #include "sim/sampling.hh"
 #include "wl/suite.hh"
 
@@ -56,18 +69,305 @@ class Args
     getDouble(const std::string &key, double def) const
     {
         std::string v = get(key);
-        return v.empty() ? def : std::stod(v);
+        if (v.empty())
+            return def;
+        char *end = nullptr;
+        double parsed = std::strtod(v.c_str(), &end);
+        if (end == v.c_str() || *end != '\0') {
+            fatal("--%s: expected a number, got '%s'", key.c_str(),
+                  v.c_str());
+        }
+        return parsed;
     }
 
     long
     getInt(const std::string &key, long def) const
     {
         std::string v = get(key);
-        return v.empty() ? def : std::stol(v);
+        if (v.empty())
+            return def;
+        char *end = nullptr;
+        long parsed = std::strtol(v.c_str(), &end, 10);
+        if (end == v.c_str() || *end != '\0') {
+            fatal("--%s: expected an integer, got '%s'", key.c_str(),
+                  v.c_str());
+        }
+        return parsed;
     }
 
   private:
     std::vector<std::string> _args;
+};
+
+/**
+ * Declared-flags CLI parser with a generated --help.
+ *
+ * Declare every flag up front, then parse(). --help prints the
+ * generated listing and exits 0; any flag that was not declared is
+ * fatal(), naming the flag. parseKnown() is the cooperative variant
+ * for binaries that share argv with another parser (google-benchmark):
+ * it consumes only declared flags, leaves the rest in place, and on
+ * --help prints our listing but leaves the flag for the other parser
+ * to document its own.
+ */
+class FlagSet
+{
+  public:
+    /**
+     * @param prog     binary name, used in help and fatal messages.
+     * @param summary  one-line description printed atop --help.
+     */
+    FlagSet(std::string prog, std::string summary)
+        : _prog(std::move(prog)), _summary(std::move(summary))
+    {
+    }
+
+    /**
+     * Declare a value flag --key=HINT. @p help should include the
+     * default in prose (house style: "... (default 4)").
+     */
+    FlagSet &
+    add(const std::string &key, const std::string &hint,
+        const std::string &help)
+    {
+        _flags.push_back({key, hint, help});
+        return *this;
+    }
+
+    /** Declare a boolean flag --key. */
+    FlagSet &
+    addBool(const std::string &key, const std::string &help)
+    {
+        _flags.push_back({key, "", help});
+        return *this;
+    }
+
+    /** @name Canned shared-flag declarations
+     * One spelling and one help line for the flags most harnesses
+     * share, so --help reads identically across binaries.
+     */
+    ///@{
+    FlagSet &
+    addWorkers()
+    {
+        return add("workers", "N",
+                   "sweep pool width (default: DVFS_SWEEP_WORKERS or "
+                   "hardware threads)");
+    }
+
+    FlagSet &
+    addMode()
+    {
+        return add("mode", "exact|sampled",
+                   "simulation fidelity (default exact)");
+    }
+
+    FlagSet &
+    addSampling()
+    {
+        add("startup-us", "N",
+            "sampled: initial detail period (default 60)");
+        add("detail-us", "N",
+            "sampled: periodic detail window (default 30)");
+        add("gap-us", "N",
+            "sampled: fast-forwarded gap (default 980)");
+        add("max-gap-us", "N",
+            "sampled: adaptive gap stretch cap (default 0 = fixed "
+            "cadence)");
+        return add("drift-permille", "N",
+                   "sampled: drift threshold for stretching (default "
+                   "50)");
+    }
+
+    FlagSet &
+    addRepeat()
+    {
+        return add("repeat", "N",
+                   "repeats per configuration, min wall reported "
+                   "(default 1)");
+    }
+
+    FlagSet &
+    addJson(const std::string &def = "BENCH_sweep.json")
+    {
+        return add("json", "PATH",
+                   "perf-trajectory JSONL file (default " + def + ")");
+    }
+
+    FlagSet &
+    addTraceDir(const std::string &help)
+    {
+        return add("trace-dir", "DIR", help);
+    }
+    ///@}
+
+    /**
+     * Parse argv. --help prints the generated listing and exits 0;
+     * an undeclared flag (or a non-flag argument) is fatal(), naming
+     * the offender.
+     */
+    void
+    parse(int argc, char **argv)
+    {
+        for (int i = 1; i < argc; ++i) {
+            const std::string arg = argv[i];
+            if (arg == "--help" || arg == "-h") {
+                std::cout << help();
+                std::exit(0);
+            }
+            const Flag *f = match(arg);
+            if (!f) {
+                fatal("%s: unknown flag '%s' (try --help)",
+                      _prog.c_str(), arg.c_str());
+            }
+            record(*f, arg);
+        }
+    }
+
+    /**
+     * Parse only declared flags, compacting argv so another parser
+     * sees the remainder. --help prints our listing and is left in
+     * argv for the other parser. Returns the new argc.
+     */
+    int
+    parseKnown(int argc, char **argv)
+    {
+        int kept = 1;
+        for (int i = 1; i < argc; ++i) {
+            const std::string arg = argv[i];
+            if (arg == "--help" || arg == "-h") {
+                std::cout << help() << "\n";
+                argv[kept++] = argv[i];
+                continue;
+            }
+            if (const Flag *f = match(arg))
+                record(*f, arg);
+            else
+                argv[kept++] = argv[i];
+        }
+        argv[kept] = nullptr;
+        return kept;
+    }
+
+    /** The generated --help text. */
+    std::string
+    help() const
+    {
+        std::size_t width = 0;
+        for (const Flag &f : _flags)
+            width = std::max(width, spelling(f).size());
+
+        std::string out = _prog + ": " + _summary + "\n";
+        for (const Flag &f : _flags) {
+            const std::string s = spelling(f);
+            out += "  " + s + std::string(width - s.size() + 2, ' ') +
+                   f.help + "\n";
+        }
+        return out;
+    }
+
+    std::string
+    get(const std::string &key, const std::string &def = "") const
+    {
+        requireDeclared(key);
+        for (const auto &[k, v] : _values) {
+            if (k == key)
+                return v;
+        }
+        return def;
+    }
+
+    bool
+    has(const std::string &key) const
+    {
+        requireDeclared(key);
+        for (const auto &[k, v] : _values) {
+            if (k == key)
+                return true;
+        }
+        return false;
+    }
+
+    long
+    getInt(const std::string &key, long def) const
+    {
+        std::string v = get(key);
+        if (v.empty())
+            return def;
+        char *end = nullptr;
+        long parsed = std::strtol(v.c_str(), &end, 10);
+        if (end == v.c_str() || *end != '\0') {
+            fatal("--%s: expected an integer, got '%s'", key.c_str(),
+                  v.c_str());
+        }
+        return parsed;
+    }
+
+    double
+    getDouble(const std::string &key, double def) const
+    {
+        std::string v = get(key);
+        if (v.empty())
+            return def;
+        char *end = nullptr;
+        double parsed = std::strtod(v.c_str(), &end);
+        if (end == v.c_str() || *end != '\0') {
+            fatal("--%s: expected a number, got '%s'", key.c_str(),
+                  v.c_str());
+        }
+        return parsed;
+    }
+
+  private:
+    struct Flag {
+        std::string key;
+        std::string hint;  ///< value hint; empty for boolean flags
+        std::string help;
+    };
+
+    std::string
+    spelling(const Flag &f) const
+    {
+        return "--" + f.key + (f.hint.empty() ? "" : "=" + f.hint);
+    }
+
+    const Flag *
+    match(const std::string &arg) const
+    {
+        for (const Flag &f : _flags) {
+            const std::string flag = "--" + f.key;
+            if (arg == flag || arg.rfind(flag + "=", 0) == 0)
+                return &f;
+        }
+        return nullptr;
+    }
+
+    void
+    record(const Flag &f, const std::string &arg)
+    {
+        const std::string prefix = "--" + f.key + "=";
+        if (arg.rfind(prefix, 0) == 0)
+            _values.emplace_back(f.key, arg.substr(prefix.size()));
+        else
+            _values.emplace_back(f.key, "");
+    }
+
+    void
+    requireDeclared(const std::string &key) const
+    {
+        for (const Flag &f : _flags) {
+            if (f.key == key)
+                return;
+        }
+        panic("%s queried undeclared flag --%s", _prog.c_str(),
+              key.c_str());
+    }
+
+    std::string _prog;
+    std::string _summary;
+    std::vector<Flag> _flags;
+    /** (key, value) in command-line order; boolean presence = "". */
+    std::vector<std::pair<std::string, std::string>> _values;
 };
 
 /** Hardware thread count, never zero. */
@@ -96,8 +396,9 @@ struct WorkerChoice {
     bool isExplicit;     ///< came from --workers or DVFS_SWEEP_WORKERS
 };
 
+template <typename ArgsT>
 inline WorkerChoice
-chooseWorkers(const Args &args)
+chooseWorkers(const ArgsT &args)
 {
     long v = args.getInt("workers", 0);
     if (v >= 1) {
@@ -133,18 +434,20 @@ clampWorkers(unsigned w, bool is_explicit)
  * Sweep pool width for a harness binary: --workers=N if given, else
  * DVFS_SWEEP_WORKERS / hardware_concurrency via defaultWorkers().
  */
+template <typename ArgsT>
 inline unsigned
-sweepWorkers(const Args &args)
+sweepWorkers(const ArgsT &args)
 {
     return chooseWorkers(args).effective;
 }
 
 /**
  * Simulation mode from --mode=exact|sampled (default exact).
- * fatal()s on any other value, listing the accepted names.
+ * fatal()s on any other value, naming the flag.
  */
+template <typename ArgsT>
 inline exp::SimMode
-modeFromArgs(const Args &args)
+modeFromArgs(const ArgsT &args)
 {
     return exp::parseSimMode(args.get("mode", "exact"), "--mode");
 }
@@ -154,8 +457,9 @@ modeFromArgs(const Args &args)
  * --gap-us, defaulting to the library's measured sweet spot
  * (sim::SamplingConfig). Only meaningful with --mode=sampled.
  */
+template <typename ArgsT>
 inline sim::SamplingConfig
-samplingFromArgs(const Args &args)
+samplingFromArgs(const ArgsT &args)
 {
     sim::SamplingConfig cfg;
     cfg.startupDetail = static_cast<Tick>(args.getInt(

@@ -69,37 +69,23 @@ gapStretchJson(const sim::SampleStats &s)
 int
 main(int argc, char **argv)
 {
-    bench::Args args(argc, argv);
-    if (args.has("help")) {
-        std::cout <<
-            "fig10_managed_sampling: managed sampled-vs-exact error "
-            "bounds and speedup\n"
-            "  --benchmarks=N     workloads from the DaCapo suite "
-            "(default 4)\n"
-            "  --seeds=N          replicate seeds per workload "
-            "(default 1)\n"
-            "  --startup-us=N     initial detail period (default 60)\n"
-            "  --detail-us=N      periodic detail window (default 30)\n"
-            "  --gap-us=N         fast-forward gap length (default "
-            "980)\n"
-            "  --max-gap-us=N     adaptive gap stretch cap (default 0 "
-            "= fixed cadence)\n"
-            "  --drift-permille=N drift threshold for stretching "
-            "(default 50)\n"
-            "  --workers=N        sweep pool width (default: hardware "
-            "width)\n"
-            "  --repeat=N         repeats, min walls reported (default "
-            "1)\n"
-            "  --json=PATH        perf-trajectory JSONL file (default "
-            "BENCH_sweep.json)\n"
-            "  --fail-err-pct=X   fail if mean |achieved-slowdown err| "
-            "exceeds X percent\n"
-            "  --fail-speedup=X   fail if managed-grid speedup falls "
-            "below X\n"
-            "  --expect-managed-fingerprint=0x...  pin the sampled "
-            "managed digest\n";
-        return 0;
-    }
+    bench::FlagSet args("fig10_managed_sampling",
+                        "managed sampled-vs-exact error bounds and "
+                        "speedup");
+    args.add("benchmarks", "N",
+             "workloads from the DaCapo suite (default 4)")
+        .add("seeds", "N", "replicate seeds per workload (default 1)")
+        .addWorkers()
+        .addSampling()
+        .addRepeat()
+        .addJson()
+        .add("fail-err-pct", "X",
+             "fail if mean |achieved-slowdown err| exceeds X percent")
+        .add("fail-speedup", "X",
+             "fail if managed-grid speedup falls below X")
+        .add("expect-managed-fingerprint", "0x...",
+             "pin the sampled managed digest");
+    args.parse(argc, argv);
 
     const auto n_bench =
         static_cast<std::size_t>(args.getInt("benchmarks", 4));

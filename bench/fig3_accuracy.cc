@@ -108,7 +108,18 @@ runDirection(const Direction &dir, const exp::sweep::ObservedGrid &grid)
 int
 main(int argc, char **argv)
 {
-    bench::Args args(argc, argv);
+    bench::FlagSet args("fig3_accuracy",
+                        "per-benchmark DVFS prediction errors "
+                        "(Figure 3)");
+    args.add("dir", "up|down|both",
+             "prediction direction(s) to print (default both)")
+        .add("only", "NAME", "run a single DaCapo benchmark")
+        .addTraceDir("replay recorded .dvfstrace files from DIR "
+                     "(recording them first if absent)")
+        .addWorkers()
+        .addBool("progress", "progress/ETA lines on stderr");
+    args.parse(argc, argv);
+
     const std::string dir = args.get("dir", "both");
     const std::string only = args.get("only");
     const std::string trace_dir = args.get("trace-dir");

@@ -92,34 +92,25 @@ predictorsJson(const exp::sweep::ModeComparison &cmp)
 int
 main(int argc, char **argv)
 {
-    bench::Args args(argc, argv);
-    if (args.has("help")) {
-        std::cout <<
-            "fig9_sampling_accuracy: sampled-vs-exact error bounds "
-            "and speedup\n"
-            "  --benchmarks=N     workloads from the DaCapo suite "
-            "(default 4)\n"
-            "  --seeds=N          replicate seeds per workload "
-            "(default 1)\n"
-            "  --gaps=CSV         fast-forward gap lengths in us "
-            "(default 980)\n"
-            "  --detail-us=N      periodic detail window (default "
-            "30)\n"
-            "  --startup-us=N     initial detail period (default 60)\n"
-            "  --workers=N        sweep pool width (default: hardware "
-            "width)\n"
-            "  --repeat=N         repeats per configuration, min "
-            "walls reported (default 1)\n"
-            "  --json=PATH        perf-trajectory JSONL file (default "
-            "BENCH_sweep.json)\n"
-            "  --fail-err-pct=X   fail if mean |slowdown err| exceeds "
-            "X percent\n"
-            "  --fail-speedup=X   fail if grid speedup falls below X\n"
-            "  --expect-sampled-fingerprint=0x...  pin the first "
-            "configuration's sampled digest\n"
-            "  --progress         progress/ETA lines on stderr\n";
-        return 0;
-    }
+    bench::FlagSet args("fig9_sampling_accuracy",
+                        "sampled-vs-exact error bounds and speedup");
+    args.add("benchmarks", "N",
+             "workloads from the DaCapo suite (default 4)")
+        .add("seeds", "N", "replicate seeds per workload (default 1)")
+        .add("gaps", "CSV",
+             "fast-forward gap lengths in us (default 980)")
+        .addWorkers()
+        .addSampling()
+        .addRepeat()
+        .addJson()
+        .add("fail-err-pct", "X",
+             "fail if mean |slowdown err| exceeds X percent")
+        .add("fail-speedup", "X",
+             "fail if grid speedup falls below X")
+        .add("expect-sampled-fingerprint", "0x...",
+             "pin the first configuration's sampled digest")
+        .addBool("progress", "progress/ETA lines on stderr");
+    args.parse(argc, argv);
 
     const auto n_bench =
         static_cast<std::size_t>(args.getInt("benchmarks", 4));

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "bench_json.hh"
+#include "bench_util.hh"
 #include "exp/experiment.hh"
 #include "exp/sweep/fingerprint.hh"
 #include "exp/sweep/sweep.hh"
@@ -284,44 +285,29 @@ main(int argc, char **argv)
 {
     // --repeat/--workers/--json/--mode are ours, not
     // google-benchmark's: they shape the appended sweep trajectory
-    // records. Strip them before benchmark::Initialize rejects them as
-    // unrecognized. --help prints our flags and then falls through so
-    // google-benchmark documents its own.
-    unsigned repeat = 1;
-    long workers = 0;  // 0: default ladder, clamped to hardware width
-    std::string json_path = "BENCH_sweep.json";
-    exp::SimMode mode = exp::SimMode::Exact;
-    int kept = 1;
-    for (int i = 1; i < argc; ++i) {
-        const char *arg = argv[i];
-        if (std::strncmp(arg, "--repeat=", 9) == 0) {
-            long v = std::atol(arg + 9);
-            if (v > 1)
-                repeat = static_cast<unsigned>(v);
-        } else if (std::strncmp(arg, "--workers=", 10) == 0) {
-            workers = std::atol(arg + 10);
-        } else if (std::strncmp(arg, "--json=", 7) == 0) {
-            json_path = arg + 7;
-        } else if (std::strncmp(arg, "--mode=", 7) == 0) {
-            mode = exp::parseSimMode(arg + 7);
-        } else {
-            if (std::strcmp(arg, "--help") == 0)
-                std::printf(
-                    "micro_simulator sweep-trajectory flags (the rest "
-                    "go to google-benchmark):\n"
-                    "  --mode=exact|sampled  trajectory grid fidelity "
-                    "(default exact)\n"
-                    "  --repeat=N            repeats per worker count, "
-                    "min wall recorded\n"
-                    "  --workers=N           measure only this pool "
-                    "width (default ladder 1,2,8)\n"
-                    "  --json=PATH           trajectory file (default "
-                    "BENCH_sweep.json)\n\n");
-            argv[kept++] = argv[i];
-        }
-    }
-    argc = kept;
-    argv[argc] = nullptr;
+    // records. parseKnown() consumes only our declared flags before
+    // benchmark::Initialize rejects them as unrecognized; --help
+    // prints our flags and then falls through so google-benchmark
+    // documents its own.
+    bench::FlagSet flags("micro_simulator",
+                         "sweep-trajectory flags (the rest go to "
+                         "google-benchmark)");
+    flags.addMode()
+        .add("repeat", "N",
+             "repeats per worker count, min wall recorded")
+        .add("workers", "N",
+             "measure only this pool width (default ladder 1,2,8)")
+        .add("json", "PATH",
+             "trajectory file (default BENCH_sweep.json)");
+    argc = flags.parseKnown(argc, argv);
+
+    const auto repeat = static_cast<unsigned>(
+        std::max(1L, flags.getInt("repeat", 1)));
+    // 0: default ladder, clamped to hardware width
+    const long workers = flags.getInt("workers", 0);
+    const std::string json_path =
+        flags.get("json", "BENCH_sweep.json");
+    const exp::SimMode mode = bench::modeFromArgs(flags);
 
     benchmark::Initialize(&argc, argv);
     if (benchmark::ReportUnrecognizedArguments(argc, argv))

@@ -200,42 +200,29 @@ measure(const exp::sweep::SweepSpec &spec, unsigned workers,
 int
 main(int argc, char **argv)
 {
-    bench::Args args(argc, argv);
-    if (args.has("help")) {
-        std::cout <<
-            "sweep_bench: sweep-engine scaling benchmark and "
-            "determinism self-check\n"
-            "  --benchmarks=N        workloads from the DaCapo suite "
-            "(default 4)\n"
-            "  --seeds=N             replicate seeds per workload "
-            "(default 1)\n"
-            "  --workers=N           measure only this pool width "
-            "(default: 1,2,4,... up to hardware)\n"
-            "  --mode=exact|sampled  simulation fidelity (default "
-            "exact)\n"
-            "  --startup-us=N        sampled: initial detail period "
-            "(default 60)\n"
-            "  --detail-us=N         sampled: periodic detail window "
-            "(default 30)\n"
-            "  --gap-us=N            sampled: fast-forwarded gap "
-            "(default 980)\n"
-            "  --max-gap-us=N        sampled: adaptive gap stretch cap "
-            "(default 0 = fixed cadence)\n"
-            "  --drift-permille=N    sampled: drift threshold for "
-            "stretching (default 50)\n"
-            "  --managed             energy-manager-governed grid "
-            "(benchmarks x seeds) instead of fixed frequencies\n"
-            "  --repeat=N            repeats per configuration, min "
-            "wall reported (default 1)\n"
-            "  --json=PATH           perf-trajectory JSONL file "
-            "(default BENCH_sweep.json)\n"
-            "  --progress            progress/ETA lines on stderr\n"
-            "  --profile             per-subsystem wall breakdown "
-            "(DVFS_PROFILE=ON builds)\n"
-            "  --expect-fingerprint=0x...  fail unless the serial "
-            "digest matches\n";
-        return 0;
-    }
+    bench::FlagSet args("sweep_bench",
+                        "sweep-engine scaling benchmark and "
+                        "determinism self-check");
+    args.add("benchmarks", "N",
+             "workloads from the DaCapo suite (default 4)")
+        .add("seeds", "N", "replicate seeds per workload (default 1)")
+        .add("workers", "N",
+             "measure only this pool width (default: 1,2,4,... up to "
+             "hardware)")
+        .addMode()
+        .addSampling()
+        .addBool("managed",
+                 "energy-manager-governed grid (benchmarks x seeds) "
+                 "instead of fixed frequencies")
+        .addRepeat()
+        .addJson()
+        .addBool("progress", "progress/ETA lines on stderr")
+        .addBool("profile",
+                 "per-subsystem wall breakdown (DVFS_PROFILE=ON "
+                 "builds)")
+        .add("expect-fingerprint", "0x...",
+             "fail unless the serial digest matches");
+    args.parse(argc, argv);
     const auto n_bench =
         static_cast<std::size_t>(args.getInt("benchmarks", 4));
     const auto n_seeds = static_cast<std::size_t>(args.getInt("seeds", 1));

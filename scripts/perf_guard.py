@@ -1,13 +1,14 @@
 #!/usr/bin/env python3
-"""Soft performance-regression guard over BENCH_sweep.json trajectories.
+"""Soft performance-regression guard over the benchmark trajectories.
 
-Compares freshly measured dvfs-sweep-bench-v1 and dvfs-trace-bench-v1
-records — from any emitting bench: sweep_bench, micro_simulator, and
-the trace record/replay tools — against the last committed record for
-the same configuration (bench + run + cells, preferring rows from a
-machine with the same hardware_threads) and emits a GitHub Actions
-::warning:: annotation when throughput dropped by more than the
-threshold. Sampled rows carrying mean_abs_slowdown_err_pct also get an
+Compares freshly measured dvfs-sweep-bench-v1, dvfs-trace-bench-v1 and
+dvfs-serve-bench-v1 records — from any emitting bench: sweep_bench,
+micro_simulator, the trace record/replay tools, and the dvfsd_load
+serving soak — against the last committed record for the same
+configuration (bench + run + cells, preferring rows from a machine
+with the same hardware_threads) and emits a GitHub Actions
+::warning:: annotation when throughput (cells_per_sec, or
+throughput_rps for serve rows) dropped by more than the threshold. Sampled rows carrying mean_abs_slowdown_err_pct also get an
 accuracy soft-gate: a warning fires when the error worsens by more
 than --err-threshold percentage points against the last committed
 same-config row. Always exits 0:
@@ -34,7 +35,14 @@ import os
 import sys
 
 
-KNOWN_SCHEMAS = ("dvfs-sweep-bench-v1", "dvfs-trace-bench-v1")
+KNOWN_SCHEMAS = ("dvfs-sweep-bench-v1", "dvfs-trace-bench-v1",
+                 "dvfs-serve-bench-v1")
+
+
+def throughput_of(rec):
+    """The guarded throughput metric: cells/s for simulation benches,
+    replies/s for the serving soak."""
+    return rec.get("cells_per_sec") or rec.get("throughput_rps")
 
 
 def load_records(path):
@@ -140,7 +148,7 @@ def main():
     summary_rows = []
     for rec in fresh:
         base = latest_baseline(baseline, rec)
-        now = rec.get("cells_per_sec")
+        now = throughput_of(rec)
         now_err = rec.get("mean_abs_slowdown_err_pct")
         config = f"{rec.get('bench')}/{rec.get('run')}"
         if not now:
@@ -150,13 +158,14 @@ def main():
                   "skipping")
             summary_rows.append((config, None, now, None, now_err))
             continue
-        ref = base.get("cells_per_sec")
+        ref = throughput_of(base)
         if not ref:
             continue
         ref_err = base.get("mean_abs_slowdown_err_pct")
         summary_rows.append((config, ref, now, ref_err, now_err))
         ratio = now / ref
-        line = (f"{config}: {now:.2f} cells/s vs baseline {ref:.2f} "
+        unit = "cells/s" if rec.get("cells_per_sec") else "req/s"
+        line = (f"{config}: {now:.2f} {unit} vs baseline {ref:.2f} "
                 f"({(ratio - 1) * 100:+.1f}%)")
         if ratio < 1.0 - args.threshold:
             # GitHub Actions annotation; informational elsewhere.

@@ -41,7 +41,7 @@ requireUniqueCellPaths(const SweepSpec &spec, const std::string &dir)
     auto dup = std::adjacent_find(paths.begin(), paths.end());
     if (dup != paths.end()) {
         throw trace::TraceError(
-            trace::TraceError::Kind::BadValue, 0,
+            trace::TraceError::Kind::DuplicateCell, 0,
             "two grid cells map to the same trace file '" + *dup +
                 "' — workloads sharing a name need distinct "
                 "WorkloadParams::name values to be trace-backed");
@@ -131,7 +131,7 @@ loadGrid(const SweepSpec &spec, const std::string &dir)
             loaded->meta().seed != spec.seeds[c.seed] ||
             loaded->baseFreq() != spec.frequencies[c.freq]) {
             throw trace::TraceError(
-                trace::TraceError::Kind::BadValue, 0,
+                trace::TraceError::Kind::CellMismatch, 0,
                 "trace '" + cellPath(spec, dir, i) +
                     "' does not match its grid cell (want " + want_wl +
                     " @ " + spec.frequencies[c.freq].toString() + ")");

@@ -1,0 +1,87 @@
+#include "net/client.hh"
+
+#include <utility>
+
+#include <unistd.h>
+
+#include "net/socket.hh"
+
+namespace dvfs::net {
+
+RpcClient
+RpcClient::connectTcp(std::uint16_t port)
+{
+    return RpcClient(net::connectTcp(port));
+}
+
+RpcClient
+RpcClient::connectUnix(const std::string &path)
+{
+    return RpcClient(net::connectUnix(path));
+}
+
+RpcClient::RpcClient(RpcClient &&other) noexcept
+    : _fd(other._fd), _nextId(other._nextId.load())
+{
+    other._fd = -1;
+}
+
+RpcClient &
+RpcClient::operator=(RpcClient &&other) noexcept
+{
+    if (this != &other) {
+        if (_fd >= 0)
+            ::close(_fd);
+        _fd = other._fd;
+        _nextId.store(other._nextId.load());
+        other._fd = -1;
+    }
+    return *this;
+}
+
+RpcClient::~RpcClient()
+{
+    if (_fd >= 0)
+        ::close(_fd);
+}
+
+void
+RpcClient::send(const Frame &frame)
+{
+    const std::vector<std::uint8_t> bytes = encodeFrame(frame);
+    sendAll(_fd, bytes.data(), bytes.size());
+}
+
+Frame
+RpcClient::recv()
+{
+    std::uint8_t header[kFrameHeaderBytes];
+    if (!recvAll(_fd, header, sizeof(header)))
+        throw SocketError("server closed while a reply was pending");
+
+    const std::uint32_t payload =
+        peekPayloadLength(header, sizeof(header));
+    std::vector<std::uint8_t> frame(kFrameHeaderBytes + payload);
+    std::copy(header, header + kFrameHeaderBytes, frame.begin());
+    if (payload > 0 &&
+        !recvAll(_fd, frame.data() + kFrameHeaderBytes, payload)) {
+        throw SocketError("server closed mid-frame");
+    }
+    return decodeFrame(frame);
+}
+
+Frame
+RpcClient::call(Body body)
+{
+    const std::uint64_t id = nextId();
+    send(Frame::request(id, std::move(body)));
+    Frame resp = recv();
+    if (resp.requestId != id || !resp.isResponse) {
+        throw SocketError(
+            "response id " + std::to_string(resp.requestId) +
+            " does not match request id " + std::to_string(id));
+    }
+    return resp;
+}
+
+} // namespace dvfs::net

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Blocking DVFSRPC1 client used by dvfsd_load, tests and examples.
+ *
+ * One RpcClient owns one connected socket. send() and recv() may be
+ * driven from two threads (one sender, one receiver — the open-loop
+ * load generator's shape); call() is the simple synchronous
+ * request/response helper for everything else. Responses are matched
+ * to requests by the request id the caller (or call()) assigned.
+ */
+
+#ifndef DVFS_NET_CLIENT_HH
+#define DVFS_NET_CLIENT_HH
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "net/proto.hh"
+
+namespace dvfs::net {
+
+class RpcClient
+{
+  public:
+    /** Connect to a dvfsd TCP endpoint on 127.0.0.1. */
+    static RpcClient connectTcp(std::uint16_t port);
+
+    /** Connect to a dvfsd Unix-domain endpoint. */
+    static RpcClient connectUnix(const std::string &path);
+
+    RpcClient(RpcClient &&other) noexcept;
+    RpcClient &operator=(RpcClient &&other) noexcept;
+    RpcClient(const RpcClient &) = delete;
+    RpcClient &operator=(const RpcClient &) = delete;
+    ~RpcClient();
+
+    /** Serialize and send one frame. Throws SocketError on failure. */
+    void send(const Frame &frame);
+
+    /**
+     * Receive one frame (blocking).
+     *
+     * @throws SocketError on transport failure or mid-frame EOF,
+     *         ProtoError on a malformed frame. A clean EOF between
+     *         frames (server drained and closed) throws SocketError
+     *         too — a client awaiting a reply is owed one.
+     */
+    Frame recv();
+
+    /**
+     * Send @p body as a request with a fresh id and wait for the
+     * matching response.
+     *
+     * @throws SocketError / ProtoError as above, and SocketError if
+     *         the response id does not match (protocol confusion).
+     */
+    Frame call(Body body);
+
+    /** Next unused request id (atomically reserved). */
+    std::uint64_t nextId() { return _nextId.fetch_add(1); }
+
+  private:
+    explicit RpcClient(int fd) : _fd(fd) {}
+
+    int _fd = -1;
+    std::atomic<std::uint64_t> _nextId{1};
+};
+
+} // namespace dvfs::net
+
+#endif // DVFS_NET_CLIENT_HH

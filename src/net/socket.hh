@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Thin POSIX socket helpers shared by dvfsd and its clients.
+ *
+ * TCP endpoints bind 127.0.0.1 only (dvfsd is an internal service; a
+ * fronting proxy owns external exposure), Unix-domain endpoints take a
+ * filesystem path. All failures raise SocketError with errno context —
+ * callers decide whether that is fatal (daemon startup) or retryable
+ * (a load generator racing the daemon's bind).
+ */
+
+#ifndef DVFS_NET_SOCKET_HH
+#define DVFS_NET_SOCKET_HH
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace dvfs::net {
+
+class SocketError : public std::runtime_error
+{
+  public:
+    explicit SocketError(const std::string &what)
+        : std::runtime_error("socket: " + what)
+    {
+    }
+};
+
+/**
+ * Listen on 127.0.0.1:@p port (0 = ephemeral). Returns the fd;
+ * @p chosen_port receives the actual port.
+ */
+int listenTcp(std::uint16_t port, std::uint16_t *chosen_port);
+
+/** Listen on a Unix-domain socket, replacing a stale file at @p path. */
+int listenUnix(const std::string &path);
+
+/** Connect to 127.0.0.1:@p port. */
+int connectTcp(std::uint16_t port);
+
+/** Connect to the Unix-domain socket at @p path. */
+int connectUnix(const std::string &path);
+
+/** Write exactly @p n bytes (retrying short writes); throws on error. */
+void sendAll(int fd, const std::uint8_t *data, std::size_t n);
+
+/**
+ * Read exactly @p n bytes. Returns false on clean EOF at offset 0
+ * (peer closed between frames); throws on error or mid-buffer EOF.
+ */
+bool recvAll(int fd, std::uint8_t *data, std::size_t n);
+
+/** Set O_NONBLOCK. */
+void setNonBlocking(int fd);
+
+} // namespace dvfs::net
+
+#endif // DVFS_NET_SOCKET_HH

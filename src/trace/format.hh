@@ -76,6 +76,9 @@ class TraceError : public std::runtime_error
         BadValue,       ///< field holds an impossible value
         DigestMismatch, ///< payload bytes do not match the digest
         MissingSection, ///< a required section is absent
+        DuplicateCell,  ///< two grid cells map to one trace file
+        CellMismatch,   ///< a trace describes a different run than
+                        ///< the grid cell it was loaded for
     };
 
     TraceError(Kind kind, std::uint64_t offset, const std::string &what)

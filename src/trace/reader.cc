@@ -177,6 +177,8 @@ TraceError::kindName(Kind kind)
       case Kind::BadValue: return "BadValue";
       case Kind::DigestMismatch: return "DigestMismatch";
       case Kind::MissingSection: return "MissingSection";
+      case Kind::DuplicateCell: return "DuplicateCell";
+      case Kind::CellMismatch: return "CellMismatch";
     }
     return "?";
 }

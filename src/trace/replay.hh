@@ -62,6 +62,13 @@ class ReplayEngine
     /** Names of the predictors evaluated, in evaluation order. */
     std::vector<std::string> predictorNames() const;
 
+    /** The predictor set itself (borrowed; lives as long as *this). */
+    const std::vector<std::unique_ptr<pred::Predictor>> &
+    predictors() const
+    {
+        return _predictors;
+    }
+
     /**
      * Evaluate every predictor at every target from @p base.
      *

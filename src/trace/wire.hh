@@ -1,145 +1,46 @@
 /**
  * @file
- * Little-endian wire encoding helpers shared by the trace writer and
- * reader. Internal to src/trace/ — not part of the stable surface.
+ * Trace-flavoured view of the shared wire codec (src/net/wire.hh).
+ * Internal to src/trace/ — not part of the stable surface.
  *
- * Encoder appends explicit-width little-endian fields to a byte
- * buffer; Cursor reads them back and throws TraceError::Truncated on
- * any overrun, so a malformed length can never walk past the input.
+ * The encoder, cursor and digest implementations live in net::wire so
+ * the .dvfstrace format and the DVFSRPC1 protocol share exactly one
+ * strict-decode implementation; this header only binds the cursor's
+ * error policy to trace::TraceError, so any overrun or impossible
+ * byte sequence raises TraceError::Truncated / TraceError::BadValue
+ * exactly as before the codec was shared.
  */
 
 #ifndef DVFS_TRACE_WIRE_HH
 #define DVFS_TRACE_WIRE_HH
 
 #include <cstdint>
-#include <string>
-#include <vector>
 
+#include "net/wire.hh"
 #include "trace/format.hh"
 
 namespace dvfs::trace {
 
-/** Append-only little-endian byte sink. */
-class Encoder
-{
-  public:
-    void
-    u32(std::uint32_t v)
+using Encoder = net::Encoder;
+
+/** Maps shared-cursor failures onto structured TraceErrors. */
+struct TraceWirePolicy {
+    [[noreturn]] static void
+    truncated(std::uint64_t offset, const char *what)
     {
-        for (int i = 0; i < 4; ++i)
-            _bytes.push_back(static_cast<std::uint8_t>(v >> (i * 8)));
+        throw TraceError(TraceError::Kind::Truncated, offset, what);
     }
 
-    void
-    u64(std::uint64_t v)
+    [[noreturn]] static void
+    badValue(std::uint64_t offset, const char *what)
     {
-        for (int i = 0; i < 8; ++i)
-            _bytes.push_back(static_cast<std::uint8_t>(v >> (i * 8)));
+        throw TraceError(TraceError::Kind::BadValue, offset, what);
     }
-
-    /** Length-prefixed string (u64 length, then raw bytes). */
-    void
-    str(const std::string &s)
-    {
-        u64(s.size());
-        _bytes.insert(_bytes.end(), s.begin(), s.end());
-    }
-
-    std::vector<std::uint8_t> &bytes() { return _bytes; }
-    const std::vector<std::uint8_t> &bytes() const { return _bytes; }
-
-  private:
-    std::vector<std::uint8_t> _bytes;
 };
 
-/**
- * Bounds-checked little-endian reader over a byte range.
- *
- * The range is [begin, end) of a larger buffer; offsets in errors are
- * absolute within that buffer (@p base is the range's position).
- */
-class Cursor
-{
-  public:
-    Cursor(const std::uint8_t *data, std::size_t size, std::uint64_t base)
-        : _data(data), _size(size), _base(base)
-    {
-    }
+using Cursor = net::BasicCursor<TraceWirePolicy>;
 
-    std::uint32_t
-    u32()
-    {
-        need(4);
-        std::uint32_t v = 0;
-        for (int i = 0; i < 4; ++i)
-            v |= static_cast<std::uint32_t>(_data[_pos + i]) << (i * 8);
-        _pos += 4;
-        return v;
-    }
-
-    std::uint64_t
-    u64()
-    {
-        need(8);
-        std::uint64_t v = 0;
-        for (int i = 0; i < 8; ++i)
-            v |= static_cast<std::uint64_t>(_data[_pos + i]) << (i * 8);
-        _pos += 8;
-        return v;
-    }
-
-    std::string
-    str()
-    {
-        std::uint64_t n = u64();
-        need(n);
-        std::string s(reinterpret_cast<const char *>(_data + _pos),
-                      static_cast<std::size_t>(n));
-        _pos += static_cast<std::size_t>(n);
-        return s;
-    }
-
-    /** Advance @p n bytes without reading them. */
-    void
-    skip(std::uint64_t n)
-    {
-        need(n);
-        _pos += static_cast<std::size_t>(n);
-    }
-
-    /** Bytes not yet consumed. */
-    std::size_t remaining() const { return _size - _pos; }
-
-    /** Absolute offset of the next unread byte. */
-    std::uint64_t offset() const { return _base + _pos; }
-
-  private:
-    void
-    need(std::uint64_t n)
-    {
-        if (n > _size - _pos) {
-            throw TraceError(TraceError::Kind::Truncated, offset(),
-                             "input ends inside a field");
-        }
-    }
-
-    const std::uint8_t *_data;
-    std::size_t _size;
-    std::size_t _pos = 0;
-    std::uint64_t _base;
-};
-
-/** FNV-1a over a raw byte range (the payload digest). */
-inline std::uint64_t
-fnv1aBytes(const std::uint8_t *data, std::size_t size)
-{
-    std::uint64_t h = 0xcbf29ce484222325ULL;
-    for (std::size_t i = 0; i < size; ++i) {
-        h ^= data[i];
-        h *= 0x100000001b3ULL;
-    }
-    return h;
-}
+using net::fnv1aBytes;
 
 } // namespace dvfs::trace
 

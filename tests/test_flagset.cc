@@ -1,0 +1,140 @@
+/**
+ * @file
+ * bench::FlagSet: the declared-flags CLI parser the harnesses share.
+ *
+ * The consolidation contract: flags are declared once, --help is
+ * generated from the declarations, an unknown flag or malformed value
+ * is fatal() *naming the offending flag*, and querying a key that was
+ * never declared is a programming error (panic). parseKnown() must
+ * consume only declared flags so google-benchmark binaries can share
+ * argv.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "../bench/bench_util.hh"
+
+using dvfs::bench::FlagSet;
+
+namespace {
+
+/** argv builder (parse takes char**, tests hold the storage). */
+struct Argv {
+    explicit Argv(std::vector<std::string> args) : _args(std::move(args))
+    {
+        _ptrs.push_back(const_cast<char *>("prog"));
+        for (const auto &a : _args)
+            _ptrs.push_back(const_cast<char *>(a.c_str()));
+        _ptrs.push_back(nullptr);
+    }
+
+    int argc() const { return static_cast<int>(_ptrs.size()) - 1; }
+    char **argv() { return _ptrs.data(); }
+
+  private:
+    std::vector<std::string> _args;
+    std::vector<char *> _ptrs;
+};
+
+FlagSet
+sampleFlags()
+{
+    FlagSet flags("prog", "test fixture");
+    flags.add("count", "N", "how many (default 1)")
+        .add("ratio", "X", "scale factor (default 1.0)")
+        .add("name", "S", "a label")
+        .addBool("verbose", "say more")
+        .addWorkers();
+    return flags;
+}
+
+} // namespace
+
+TEST(FlagSet, ParsesDeclaredFlagsWithTypedAccess)
+{
+    auto flags = sampleFlags();
+    Argv argv({"--count=42", "--ratio=2.5", "--name=abc", "--verbose"});
+    flags.parse(argv.argc(), argv.argv());
+
+    EXPECT_EQ(flags.getInt("count", 1), 42);
+    EXPECT_DOUBLE_EQ(flags.getDouble("ratio", 1.0), 2.5);
+    EXPECT_EQ(flags.get("name"), "abc");
+    EXPECT_TRUE(flags.has("verbose"));
+    // Declared but not passed: defaults apply, has() is false.
+    EXPECT_FALSE(flags.has("workers"));
+    EXPECT_EQ(flags.getInt("workers", 0), 0);
+}
+
+TEST(FlagSet, ParseKnownLeavesForeignFlagsInPlace)
+{
+    auto flags = sampleFlags();
+    Argv argv({"--benchmark_filter=epoch", "--count=3",
+               "--benchmark_min_time=1", "--verbose"});
+    const int rest = flags.parseKnown(argv.argc(), argv.argv());
+
+    // Ours were consumed...
+    EXPECT_EQ(flags.getInt("count", 1), 3);
+    EXPECT_TRUE(flags.has("verbose"));
+    // ...and exactly the foreign flags remain, order preserved, for
+    // the other parser (google-benchmark) to see.
+    ASSERT_EQ(rest, 3);
+    EXPECT_STREQ(argv.argv()[1], "--benchmark_filter=epoch");
+    EXPECT_STREQ(argv.argv()[2], "--benchmark_min_time=1");
+    EXPECT_EQ(argv.argv()[rest], nullptr);
+}
+
+TEST(FlagSet, HelpListsEveryDeclaredFlag)
+{
+    const std::string help = sampleFlags().help();
+    EXPECT_NE(help.find("prog: test fixture"), std::string::npos);
+    EXPECT_NE(help.find("--count=N"), std::string::npos);
+    EXPECT_NE(help.find("--ratio=X"), std::string::npos);
+    EXPECT_NE(help.find("--verbose"), std::string::npos);
+    // Canned declarations carry the shared spelling and help line.
+    EXPECT_NE(help.find("--workers=N"), std::string::npos);
+    EXPECT_NE(help.find("sweep pool width"), std::string::npos);
+    // Boolean flags show no =HINT.
+    EXPECT_EQ(help.find("--verbose="), std::string::npos);
+}
+
+TEST(FlagSetDeathTest, UnknownFlagIsFatalNamingTheFlag)
+{
+    auto flags = sampleFlags();
+    Argv argv({"--bogus=1"});
+    EXPECT_EXIT(flags.parse(argv.argc(), argv.argv()),
+                testing::ExitedWithCode(1),
+                "unknown flag '--bogus=1'");
+}
+
+TEST(FlagSetDeathTest, MalformedValueIsFatalNamingTheFlag)
+{
+    auto flags = sampleFlags();
+    Argv argv({"--count=abc", "--ratio=x2"});
+    flags.parse(argv.argc(), argv.argv());
+    EXPECT_EXIT((void)flags.getInt("count", 1),
+                testing::ExitedWithCode(1),
+                "--count: expected an integer, got 'abc'");
+    EXPECT_EXIT((void)flags.getDouble("ratio", 1.0),
+                testing::ExitedWithCode(1),
+                "--ratio: expected a number, got 'x2'");
+}
+
+TEST(FlagSetDeathTest, HelpPrintsListingAndExitsCleanly)
+{
+    auto flags = sampleFlags();
+    Argv argv({"--help"});
+    EXPECT_EXIT(flags.parse(argv.argc(), argv.argv()),
+                testing::ExitedWithCode(0), "");
+}
+
+TEST(FlagSetDeathTest, QueryingUndeclaredFlagIsAProgrammingError)
+{
+    auto flags = sampleFlags();
+    Argv argv({"--count=1"});
+    flags.parse(argv.argc(), argv.argv());
+    EXPECT_DEATH((void)flags.get("undeclared"),
+                 "queried undeclared flag --undeclared");
+}

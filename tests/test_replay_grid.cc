@@ -21,6 +21,7 @@
 #include "exp/sweep/trace_cache.hh"
 #include "pred/registry.hh"
 #include "trace/replay.hh"
+#include "trace/writer.hh"
 
 using namespace dvfs;
 using exp::sweep::ObservedGrid;
@@ -151,20 +152,56 @@ TEST(ReplayGrid, MismatchedTraceIsRejected)
     std::filesystem::remove_all(dir);
 }
 
+TEST(ReplayGrid, ImpersonatingTraceIsCellMismatch)
+{
+    // A trace that PARSES but describes a different run than the cell
+    // it was loaded for must be the structured CellMismatch kind —
+    // here a 1 GHz recording renamed to pose as the 4 GHz cell.
+    const std::string dir = freshDir("impersonate");
+    SweepRunner::Options opts;
+    opts.workers = 1;
+    exp::sweep::recordGrid(smallSpec(), opts, dir);
+
+    const std::string low =
+        dir + "/" + trace::traceFileName("synthA", 1000, 42);
+    const std::string high =
+        dir + "/" + trace::traceFileName("synthA", 4000, 42);
+    std::filesystem::copy_file(
+        low, high, std::filesystem::copy_options::overwrite_existing);
+
+    try {
+        exp::sweep::loadGrid(smallSpec(), dir);
+        FAIL() << "impersonating trace was accepted";
+    } catch (const trace::TraceError &e) {
+        EXPECT_EQ(e.kind(), trace::TraceError::Kind::CellMismatch);
+    }
+    std::filesystem::remove_all(dir);
+}
+
 TEST(ReplayGrid, DuplicateCellPathsAreRejected)
 {
     // Two workloads sharing a name would alias each other's trace
     // files (record would overwrite, load would impersonate); the
-    // cache must refuse the spec up front instead.
+    // cache must refuse the spec up front with the structured
+    // DuplicateCell kind — on both the record and the load path.
     const std::string dir = freshDir("dup");
     SweepSpec dup = smallSpec();
     dup.workloads[1].name = dup.workloads[0].name;
 
     SweepRunner::Options opts;
     opts.workers = 1;
-    EXPECT_THROW(exp::sweep::recordGrid(dup, opts, dir),
-                 trace::TraceError);
-    EXPECT_THROW(exp::sweep::loadGrid(dup, dir), trace::TraceError);
+    try {
+        exp::sweep::recordGrid(dup, opts, dir);
+        FAIL() << "duplicate cell paths were accepted on record";
+    } catch (const trace::TraceError &e) {
+        EXPECT_EQ(e.kind(), trace::TraceError::Kind::DuplicateCell);
+    }
+    try {
+        exp::sweep::loadGrid(dup, dir);
+        FAIL() << "duplicate cell paths were accepted on load";
+    } catch (const trace::TraceError &e) {
+        EXPECT_EQ(e.kind(), trace::TraceError::Kind::DuplicateCell);
+    }
     // In-memory grids never touch the filesystem: no name collision.
     EXPECT_NO_THROW(exp::sweep::recordGrid(dup, opts));
     std::filesystem::remove_all(dir);
